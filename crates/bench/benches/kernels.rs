@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks of the kernel hot paths: dense convolution,
+//! matmul, sparse encodings and the centrosymmetric transforms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cscnn::nn::codebook;
+use cscnn::sparse::formats::{BitmaskVector, CscVector};
+use cscnn::sparse::{centro, RleVector, SparseSlice};
+use cscnn::tensor::{conv2d, matmul, winograd_conv2d, ConvSpec, Tensor};
+
+fn bench_conv2d(c: &mut Criterion) {
+    let input = Tensor::from_fn(&[1, 16, 32, 32], |i| (i as f32 * 0.01).sin());
+    let weight = Tensor::from_fn(&[32, 16, 3, 3], |i| (i as f32 * 0.02).cos());
+    let bias = Tensor::zeros(&[32]);
+    let spec = ConvSpec::new(3, 3).with_padding(1);
+    c.bench_function("conv2d_16x32x32_to_32", |b| {
+        b.iter(|| conv2d(black_box(&input), black_box(&weight), &bias, &spec))
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Tensor::from_fn(&[128, 256], |i| (i as f32 * 0.01).sin());
+    let b2 = Tensor::from_fn(&[256, 64], |i| (i as f32 * 0.02).cos());
+    c.bench_function("matmul_128x256x64", |b| {
+        b.iter(|| matmul(black_box(&a), black_box(&b2)))
+    });
+}
+
+fn bench_rle(c: &mut Criterion) {
+    let dense: Vec<f32> = (0..4096)
+        .map(|i| if i % 3 == 0 { (i as f32).sin() } else { 0.0 })
+        .collect();
+    c.bench_function("rle_encode_4096", |b| {
+        b.iter(|| RleVector::encode(black_box(&dense), 15))
+    });
+    let encoded = RleVector::encode(&dense, 15);
+    c.bench_function("rle_decode_4096", |b| b.iter(|| black_box(&encoded).decode()));
+}
+
+fn bench_centro(c: &mut Criterion) {
+    let slice: Vec<f32> = (0..25).map(|i| (i as f32).sin()).collect();
+    c.bench_function("centro_project_5x5", |b| {
+        b.iter(|| centro::project_mean(black_box(&slice), 5, 5))
+    });
+    let mut grad: Vec<f32> = (0..9).map(|i| i as f32).collect();
+    c.bench_function("centro_tie_gradients_3x3", |b| {
+        b.iter(|| centro::tie_gradients(black_box(&mut grad), 3, 3))
+    });
+}
+
+fn bench_sparse_slice(c: &mut Criterion) {
+    let dense: Vec<f32> = (0..28 * 28)
+        .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+        .collect();
+    c.bench_function("sparse_slice_from_dense_28x28", |b| {
+        b.iter(|| SparseSlice::from_dense(black_box(&dense), 28, 28))
+    });
+}
+
+fn bench_winograd(c: &mut Criterion) {
+    let input = Tensor::from_fn(&[1, 16, 32, 32], |i| (i as f32 * 0.01).sin());
+    let weight = Tensor::from_fn(&[32, 16, 3, 3], |i| (i as f32 * 0.02).cos());
+    let bias = Tensor::zeros(&[32]);
+    c.bench_function("winograd_16x32x32_to_32", |b| {
+        b.iter(|| winograd_conv2d(black_box(&input), black_box(&weight), &bias, 1))
+    });
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let dense: Vec<f32> = (0..4096)
+        .map(|i| if i % 3 == 0 { (i as f32).sin() } else { 0.0 })
+        .collect();
+    c.bench_function("bitmask_encode_4096", |b| {
+        b.iter(|| BitmaskVector::encode(black_box(&dense)))
+    });
+    c.bench_function("csc_encode_4096", |b| {
+        b.iter(|| CscVector::encode(black_box(&dense), 4))
+    });
+    let a = BitmaskVector::encode(&dense);
+    let other: Vec<f32> = (0..4096)
+        .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+        .collect();
+    let bvec = BitmaskVector::encode(&other);
+    c.bench_function("bitmask_inner_join_4096", |b| {
+        b.iter(|| black_box(&a).inner_join(black_box(&bvec)))
+    });
+}
+
+fn bench_codebook(c: &mut Criterion) {
+    let values: Vec<f32> = (0..8192)
+        .map(|i| if i % 3 == 0 { 0.0 } else { ((i % 17) as f32 - 8.0) * 0.05 })
+        .collect();
+    c.bench_function("kmeans_codebook_8192_k32", |b| {
+        b.iter(|| codebook::kmeans_codebook(black_box(&values), 32, 10))
+    });
+    let symbols: Vec<usize> = (0..8192).map(|i| i % 17).collect();
+    c.bench_function("huffman_bits_8192", |b| {
+        b.iter(|| codebook::huffman_bits(black_box(&symbols)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conv2d,
+    bench_matmul,
+    bench_rle,
+    bench_centro,
+    bench_sparse_slice,
+    bench_winograd,
+    bench_formats,
+    bench_codebook
+);
+criterion_main!(benches);

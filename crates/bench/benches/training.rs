@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the training-side hot paths: a full SGD step on
+//! a small CNN with and without the centrosymmetric constraint, and the
+//! pruning pass.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cscnn::nn::centrosymmetric;
+use cscnn::nn::datasets::SyntheticImages;
+use cscnn::nn::metrics::softmax_cross_entropy;
+use cscnn::nn::models;
+use cscnn::nn::optimizer::Sgd;
+use cscnn::nn::pruning;
+
+fn bench_training_step(c: &mut Criterion) {
+    let data = SyntheticImages::generate(1, 16, 16, 4, 20, 0.1, 3);
+    let (x, labels) = data.batch(&(0..16).collect::<Vec<_>>());
+    for (label, centro) in [("dense", false), ("centrosymmetric", true)] {
+        let mut net = models::tiny_cnn(1, 16, 16, 4, 3);
+        if centro {
+            centrosymmetric::centrosymmetrize(&mut net);
+        }
+        let mut opt = Sgd::new(0.9, 1e-4);
+        c.bench_function(&format!("sgd_step_tiny_cnn_{label}"), |b| {
+            b.iter(|| {
+                let logits = net.forward(black_box(&x));
+                let (_, grad) = softmax_cross_entropy(&logits, &labels);
+                net.backward(&grad);
+                let mut params = net.params_mut();
+                opt.step(&mut params, 0.01);
+            })
+        });
+    }
+}
+
+fn bench_pruning_pass(c: &mut Criterion) {
+    c.bench_function("prune_network_vgg_s", |b| {
+        b.iter_with_setup(
+            || models::vgg_s(10, 4),
+            |mut net| {
+                pruning::prune_network(
+                    &mut net,
+                    &pruning::PruneConfig {
+                        conv_keep: 0.4,
+                        fc_keep: 0.1,
+                    },
+                )
+            },
+        )
+    });
+}
+
+fn bench_projection_pass(c: &mut Criterion) {
+    c.bench_function("centrosymmetrize_vgg_s", |b| {
+        b.iter_with_setup(
+            || models::vgg_s(10, 5),
+            |mut net| centrosymmetric::centrosymmetrize(&mut net),
+        )
+    });
+}
+
+criterion_group!(benches, bench_training_step, bench_pruning_pass, bench_projection_pass);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 8 — layer-wise speedup over DCNN on AlexNet and VGG16 for SCNN,
+//! SparTen, and CSCNN.
+//!
+//! ```sh
+//! cargo run --release -p cscnn-bench --bin fig8
+//! ```
+//!
+//! The paper's qualitative reading to check: C1 of AlexNet (dense inputs,
+//! stride 4) leaves the Cartesian-product accelerators *behind* DCNN; C2
+//! (moderate density) shows CSCNN's ~2x reuse edge; the sparsest deep
+//! layers show CSCNN ~ SparTen >> SCNN.
+
+use cscnn::models::catalog;
+use cscnn::sim::{baselines, Accelerator, CartesianAccelerator, Runner};
+use cscnn_bench::table::Table;
+use cscnn_bench::SEED;
+
+fn main() {
+    println!("== Fig. 8: layer-wise speedup over DCNN ==");
+    let runner = Runner::new(SEED);
+    for model in [catalog::alexnet(), catalog::vgg16()] {
+        println!("\n-- {} --\n", model.name);
+        let dcnn = runner.run_model(&baselines::dcnn(), &model);
+        let contenders: Vec<(&str, Box<dyn Accelerator>)> = vec![
+            ("SCNN", Box::new(CartesianAccelerator::scnn())),
+            ("SparTen", Box::new(baselines::sparten())),
+            ("CSCNN", Box::new(CartesianAccelerator::cscnn())),
+        ];
+        let runs: Vec<_> = contenders
+            .iter()
+            .map(|(_, acc)| runner.run_model(acc.as_ref(), &model))
+            .collect();
+        let mut t = Table::new(&["layer", "SCNN", "SparTen", "CSCNN"]);
+        for (li, base_layer) in dcnn.layers.iter().enumerate() {
+            // Fig. 8 plots conv layers only.
+            if model.layers[li].kind == cscnn::models::LayerKind::FullyConnected {
+                continue;
+            }
+            let mut cells = vec![base_layer.name.clone()];
+            for run in &runs {
+                cells.push(format!("{:.2}", base_layer.time_s / run.layers[li].time_s));
+            }
+            t.row(cells);
+        }
+        t.print();
+    }
+    println!("\nreading guide: AlexNet C1 < 1.0-ish for SCNN/CSCNN (stride-4 waste);");
+    println!("C2 shows CSCNN's reuse gain; deep sparse layers: CSCNN ~ SparTen > SCNN.");
+}

@@ -1,0 +1,49 @@
+//! Sparse-format storage comparison across densities: SCNN/CSCNN's
+//! zero-run-length encoding vs SparTen's bitmask vs EIE's CSC — the
+//! metadata trade-off behind Table IV's machines, with the density
+//! crossovers made explicit.
+//!
+//! ```sh
+//! cargo run --release -p cscnn-bench --bin formats
+//! ```
+
+use cscnn::sparse::formats::storage_bits_comparison;
+use cscnn::sparse::sample;
+use cscnn_bench::table::Table;
+
+fn main() {
+    println!("== sparse weight-storage formats vs density ==");
+    println!("(bits per dense position; 16-bit values, 4-bit run/index fields)\n");
+    let mut t = Table::new(&["density", "dense", "RLE (SCNN)", "bitmask (SparTen)", "CSC (EIE)", "winner"]);
+    let mut rng = sample::rng(42);
+    let len = 64 * 64;
+    for density in [0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00] {
+        let dense = sample::bernoulli_slice(&mut rng, 64, 64, density).to_dense();
+        let c = storage_bits_comparison(&dense);
+        let per = |bits: u64| bits as f64 / len as f64;
+        let candidates = [
+            ("RLE", c.rle_bits),
+            ("bitmask", c.bitmask_bits),
+            ("CSC", c.csc_bits),
+            ("dense", c.dense_bits),
+        ];
+        let winner = candidates
+            .iter()
+            .min_by_key(|(_, b)| *b)
+            .map(|(n, _)| *n)
+            .expect("non-empty");
+        t.row(vec![
+            format!("{:.0} %", density * 100.0),
+            format!("{:.2}", per(c.dense_bits)),
+            format!("{:.2}", per(c.rle_bits)),
+            format!("{:.2}", per(c.bitmask_bits)),
+            format!("{:.2}", per(c.csc_bits)),
+            winner.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nreading: run/index encodings (SCNN/CSCNN, EIE) win in the pruned-conv");
+    println!("regime (~5-35 % density); SparTen's bitmask wins at moderate-to-high");
+    println!("density; above ~80 % nothing beats dense. CSCNN additionally halves the");
+    println!("*value* payload via dual weights — orthogonal to the index format.");
+}

@@ -1,0 +1,93 @@
+//! Design-space sweeps around the paper's evaluated configuration —
+//! ablations for the design choices DESIGN.md calls out: PE array scale,
+//! multiplier-array aspect ratio, and the number of mixed-tiling
+//! sub-arrays.
+//!
+//! ```sh
+//! cargo run --release -p cscnn-bench --bin sweep
+//! ```
+
+use cscnn::models::catalog;
+use cscnn::sim::{ArchConfig, CartesianAccelerator, Runner};
+use cscnn_bench::table::Table;
+use cscnn_bench::SEED;
+
+fn main() {
+    let runner = Runner::new(SEED);
+    let models = [catalog::alexnet(), catalog::vgg16_cifar(), catalog::resnet18()];
+
+    // ---------------------------------------------------------------
+    // 1) PE array scale (total multipliers grow 16x across the sweep).
+    // ---------------------------------------------------------------
+    println!("== sweep 1: PE array scale (CSCNN, mixed tiling) ==\n");
+    let mut t = Table::new(&["array", "mults", "AlexNet (ms)", "VGG16-C (ms)", "ResNet-18 (ms)"]);
+    for (rows, cols) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8)] {
+        let cfg = ArchConfig {
+            pe_rows: rows,
+            pe_cols: cols,
+            mixed_subarrays: rows.max(1),
+            ..ArchConfig::paper()
+        };
+        let acc = CartesianAccelerator::cscnn().with_config(cfg.clone());
+        let mut cells = vec![
+            format!("{rows}x{cols}"),
+            cfg.total_multipliers().to_string(),
+        ];
+        for model in &models {
+            let time = runner.run_model(&acc, model).total_time_s();
+            cells.push(format!("{:.3}", time * 1e3));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!("\nexpected: near-linear scaling until fragmentation/imbalance and the");
+    println!("DRAM bound flatten the curve (small nets saturate first).\n");
+
+    // ---------------------------------------------------------------
+    // 2) Multiplier-array aspect ratio at a fixed 16-multiplier budget.
+    // ---------------------------------------------------------------
+    println!("== sweep 2: multiplier array aspect ratio (Px x Py = 16) ==\n");
+    let mut t = Table::new(&["shape", "AlexNet (ms)", "VGG16-C (ms)", "ResNet-18 (ms)"]);
+    for (px, py) in [(2usize, 8usize), (4, 4), (8, 2), (16, 1)] {
+        let cfg = ArchConfig {
+            mult_px: px,
+            mult_py: py,
+            ..ArchConfig::paper()
+        };
+        let acc = CartesianAccelerator::cscnn().with_config(cfg);
+        let mut cells = vec![format!("{px}x{py}")];
+        for model in &models {
+            let time = runner.run_model(&acc, model).total_time_s();
+            cells.push(format!("{:.3}", time * 1e3));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!("\nexpected: square-ish arrays fragment least; a 16x1 array wastes");
+    println!("weight-vector slots whenever a channel has <16 stored non-zeros.\n");
+
+    // ---------------------------------------------------------------
+    // 3) Mixed-tiling sub-array count at a 4x4 PE array.
+    // ---------------------------------------------------------------
+    println!("== sweep 3: mixed-tiling sub-arrays (4x4 PE array) ==\n");
+    let mut t = Table::new(&["sub-arrays", "AlexNet (ms)", "VGG16-C (ms)", "ResNet-18 (ms)"]);
+    for subarrays in [1usize, 2, 4, 8, 16] {
+        let cfg = ArchConfig {
+            pe_rows: 4,
+            pe_cols: 4,
+            mixed_subarrays: subarrays,
+            ..ArchConfig::paper()
+        };
+        let acc = CartesianAccelerator::cscnn().with_config(cfg);
+        let mut cells = vec![subarrays.to_string()];
+        for model in &models {
+            let time = runner.run_model(&acc, model).total_time_s();
+            cells.push(format!("{:.3}", time * 1e3));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!("\nexpected: nearly flat — the adaptive per-layer inner split (§III-C's");
+    println!("layer-wise tile sizing) compensates for the sub-array choice; the rigid");
+    println!("strategies in Fig. 11 show the raw effect this adaptivity removes.");
+}

@@ -1,0 +1,59 @@
+//! Table III — ImageNet compression: accuracy and multiplication reduction
+//! for nine models under Deep Compression, CSCNN, and CSCNN+Pruning.
+//!
+//! ```sh
+//! cargo run --release -p cscnn-bench --bin table3
+//! ```
+//!
+//! Reductions are measured from the shape catalogs + calibrated profiles;
+//! accuracy columns reproduce the paper's reported values (ImageNet
+//! training is out of scope offline — DESIGN.md §2).
+
+use cscnn::models::{catalog, CompressionScheme, ModelCompression};
+use cscnn_bench::paper;
+use cscnn_bench::table::{fmt_factor, fmt_pct, Table};
+
+fn main() {
+    println!("== Table III: compression methods on ImageNet ==\n");
+    let mut t = Table::new(&[
+        "model",
+        "technique",
+        "top-1 base",
+        "top-1",
+        "top-5 base",
+        "top-5",
+        "paper red.",
+        "measured",
+    ]);
+    for row in paper::table3_rows() {
+        let scheme = match row.technique {
+            "Deep compression" => Some(CompressionScheme::DeepCompression),
+            "CSCNN" => Some(CompressionScheme::Cscnn),
+            "CSCNN+Pruning" => Some(CompressionScheme::CscnnPruning),
+            _ => None,
+        };
+        let measured = scheme.and_then(|s| {
+            catalog::by_name(row.model).map(|m| ModelCompression::new(m, s).reduction())
+        });
+        t.row(vec![
+            row.model.to_string(),
+            row.technique.to_string(),
+            fmt_pct(row.top1_baseline),
+            fmt_pct(row.top1),
+            fmt_pct(row.top5_baseline),
+            fmt_pct(row.top5),
+            fmt_factor(row.mult_reduction),
+            fmt_factor(measured),
+        ]);
+    }
+    t.print();
+
+    println!("\nnotes:");
+    println!("  - pruned schemes are calibrated to the paper's overall reductions, so");
+    println!("    'measured' matching 'paper' validates the calibration round-trips;");
+    println!("  - unpruned CSCNN is *structural* (no free parameter): 3x3-dominated");
+    println!("    models reach ~1.8x, bottleneck ResNets ~1.2x, and pointwise-dominated");
+    println!("    ShuffleNet ~1.0x — Eq. 2 cannot compress 1x1 kernels, so the paper's");
+    println!("    1.5-1.8x claims for those models are not reproducible from shapes");
+    println!("    (see EXPERIMENTS.md).");
+}

@@ -1,0 +1,26 @@
+//! Table IV — qualitative comparison of the CNN accelerators.
+//!
+//! ```sh
+//! cargo run --release -p cscnn-bench --bin table4
+//! ```
+
+use cscnn::sim::baselines;
+use cscnn_bench::table::Table;
+
+fn main() {
+    println!("== Table IV: comparison of the CNN accelerators ==\n");
+    let mut t = Table::new(&["accelerator", "compression", "sparsity", "inner spatial dataflow"]);
+    for acc in baselines::evaluation_accelerators() {
+        let c = acc.characteristics();
+        t.row(vec![
+            acc.name().to_string(),
+            c.compression.to_string(),
+            c.sparsity.to_string(),
+            c.dataflow.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\n(CGNet and CirCNN are excluded from the quantitative runs, as in the");
+    println!("paper: CGNet's layer-wise characteristics are unpublished and CirCNN's");
+    println!("FFT datapath is incomparable at this granularity.)");
+}

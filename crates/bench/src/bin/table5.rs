@@ -1,0 +1,53 @@
+//! Table V — area analysis of the SCNN and CSCNN PEs (45 nm).
+//!
+//! ```sh
+//! cargo run --release -p cscnn-bench --bin table5
+//! ```
+
+use cscnn::sim::area::PeArea;
+use cscnn::sim::ArchConfig;
+use cscnn_bench::paper;
+use cscnn_bench::table::Table;
+
+fn main() {
+    println!("== Table V: area analysis of SCNN and CSCNN PEs ==\n");
+    let scnn = PeArea::scnn(&ArchConfig::paper_scnn());
+    let cscnn = PeArea::cscnn(&ArchConfig::paper());
+    let ours = |which: &str, a: &PeArea| -> f64 {
+        match which {
+            "Total" => a.total(),
+            "MulArray" => a.mul_array,
+            "IB+OB" => a.ib_ob,
+            "WB" => a.wb,
+            "AB" => a.ab,
+            "Scatter" => a.scatter,
+            "CCU" => a.ccu,
+            "PPU" => a.ppu,
+            _ => unreachable!("unknown component"),
+        }
+    };
+    let mut t = Table::new(&[
+        "component",
+        "SCNN paper",
+        "SCNN measured",
+        "CSCNN paper",
+        "CSCNN measured",
+        "share",
+    ]);
+    for (name, scnn_ref, cscnn_ref) in paper::table5_reference() {
+        let s = ours(name, &scnn);
+        let c = ours(name, &cscnn);
+        t.row(vec![
+            name.to_string(),
+            format!("{scnn_ref:.2} mm2"),
+            format!("{s:.2} mm2"),
+            format!("{cscnn_ref:.2} mm2"),
+            format!("{c:.2} mm2"),
+            format!("{:.1} %", 100.0 * c / cscnn.total()),
+        ]);
+    }
+    t.print();
+    let overhead = 100.0 * (cscnn.total() / scnn.total() - 1.0);
+    println!("\nCSCNN PE area overhead over SCNN: {overhead:.1} %  (paper: 17.7 %)");
+    println!("capacities: WB 16 KB->10 KB (halved weights), AB 6 KB->2x6 KB, 2x scatter.");
+}

@@ -1,0 +1,148 @@
+//! Paper-reported reference numbers, transcribed from the tables and the
+//! text of the evaluation section, so each harness binary can print
+//! "paper vs measured" side by side.
+
+/// One compression-table row (Tables II/III).
+#[derive(Clone, Copy, Debug)]
+pub struct CompressionRow {
+    /// Model name (catalog alias).
+    pub model: &'static str,
+    /// Technique label as printed in the paper.
+    pub technique: &'static str,
+    /// Baseline top-1 accuracy (%), if reported.
+    pub top1_baseline: Option<f64>,
+    /// Technique top-1 accuracy (%), if reported.
+    pub top1: Option<f64>,
+    /// Baseline top-5 accuracy (%), if reported.
+    pub top5_baseline: Option<f64>,
+    /// Technique top-5 accuracy (%), if reported.
+    pub top5: Option<f64>,
+    /// Reported multiplication reduction (×), if reported.
+    pub mult_reduction: Option<f64>,
+}
+
+const fn row(
+    model: &'static str,
+    technique: &'static str,
+    top1_baseline: Option<f64>,
+    top1: Option<f64>,
+    top5_baseline: Option<f64>,
+    top5: Option<f64>,
+    mult_reduction: Option<f64>,
+) -> CompressionRow {
+    CompressionRow {
+        model,
+        technique,
+        top1_baseline,
+        top1,
+        top5_baseline,
+        top5,
+        mult_reduction,
+    }
+}
+
+/// Table II (CIFAR-10), paper rows.
+pub fn table2_rows() -> Vec<CompressionRow> {
+    vec![
+        row("ConvNet", "Deep compression", Some(75.8), Some(75.7), None, None, Some(3.8)),
+        row("ConvNet", "CSCNN", Some(75.8), Some(75.8), None, None, Some(1.7)),
+        row("ConvNet", "CSCNN+Pruning", Some(75.8), Some(75.6), None, None, Some(5.8)),
+        row("VGG16-CIFAR", "Deep compression", Some(92.8), Some(92.8), None, None, Some(5.3)),
+        row("VGG16-CIFAR", "CGNet", Some(92.8), Some(92.4), None, None, Some(5.1)),
+        row("VGG16-CIFAR", "CSCNN", Some(92.8), Some(92.8), None, None, Some(1.8)),
+        row("VGG16-CIFAR", "CSCNN+Pruning", Some(92.8), Some(92.5), None, None, Some(7.2)),
+        row("WideResNet", "CSCNN", Some(95.8), Some(95.4), None, None, Some(1.6)),
+    ]
+}
+
+/// Table III (ImageNet), paper rows for the techniques we reproduce.
+pub fn table3_rows() -> Vec<CompressionRow> {
+    vec![
+        row("ResNet-18", "Deep compression", Some(69.2), Some(69.0), Some(88.8), Some(88.5), Some(2.0)),
+        row("ResNet-18", "CSCNN", Some(69.2), Some(68.6), Some(88.8), Some(88.1), Some(1.7)),
+        row("ResNet-18", "CSCNN+Pruning", Some(69.2), Some(68.4), Some(88.8), Some(87.9), Some(2.8)),
+        row("VGG16", "Deep compression", Some(68.5), Some(68.8), Some(88.7), Some(89.1), Some(3.0)),
+        row("VGG16", "CSCNN", Some(68.5), Some(68.6), Some(88.7), Some(88.7), Some(1.8)),
+        row("VGG16", "CSCNN+Pruning", Some(68.5), Some(68.4), Some(88.7), Some(88.4), Some(4.3)),
+        row("AlexNet", "Deep compression", Some(57.2), Some(57.2), Some(80.3), Some(80.3), Some(2.2)),
+        row("AlexNet", "CSCNN", Some(57.2), Some(57.2), Some(80.3), Some(80.1), Some(1.5)),
+        row("AlexNet", "CSCNN+Pruning", Some(57.2), Some(57.0), Some(80.3), Some(79.9), Some(2.9)),
+        row("SqueezeNet", "Deep compression", Some(57.5), Some(57.5), Some(80.3), Some(80.3), Some(4.2)),
+        row("SqueezeNet", "CSCNN", Some(57.5), Some(57.2), Some(80.3), Some(80.1), Some(1.7)),
+        row("SqueezeNet", "CSCNN+Pruning", Some(57.5), Some(57.0), Some(80.3), Some(79.9), Some(5.9)),
+        row("ResNeXt-101", "CSCNN", Some(80.9), Some(80.1), Some(95.6), Some(94.5), Some(1.6)),
+        row("ResNet-50", "Deep compression", Some(75.3), Some(74.9), Some(92.2), Some(91.7), Some(2.2)),
+        row("ResNet-50", "CSCNN", Some(75.3), Some(75.1), Some(92.2), Some(92.0), Some(1.6)),
+        row("ResNet-50", "CSCNN+Pruning", Some(75.3), Some(74.8), Some(92.2), Some(91.5), Some(2.8)),
+        row("ResNet-152", "Deep compression", Some(77.0), Some(76.8), Some(93.3), Some(93.0), Some(2.3)),
+        row("ResNet-152", "CSCNN", Some(77.0), Some(76.9), Some(93.3), Some(93.1), Some(1.5)),
+        row("ResNet-152", "CSCNN+Pruning", Some(77.0), Some(76.6), Some(93.3), Some(92.8), Some(2.7)),
+        row("ShuffleNet-V2", "Deep compression", Some(77.2), Some(76.7), Some(93.3), Some(92.6), Some(2.2)),
+        row("ShuffleNet-V2", "CSCNN", Some(77.2), Some(76.9), Some(93.3), Some(92.7), Some(1.8)),
+        row("ShuffleNet-V2", "CSCNN+Pruning", Some(77.2), Some(76.5), Some(93.3), Some(92.4), Some(3.2)),
+        row("EfficientNet-B7", "Deep compression", Some(84.3), Some(84.0), Some(97.0), Some(96.8), Some(3.1)),
+        row("EfficientNet-B7", "CSCNN", Some(84.3), Some(84.1), Some(97.0), Some(96.8), Some(1.7)),
+        row("EfficientNet-B7", "CSCNN+Pruning", Some(84.3), Some(83.8), Some(97.0), Some(96.6), Some(4.3)),
+    ]
+}
+
+/// Headline geomean factors from the abstract / §V: CSCNN's gain over each
+/// baseline as `(name, speedup, energy, edp)`; `None` where the paper does
+/// not report the number.
+pub fn headline_factors() -> Vec<(&'static str, f64, f64, Option<f64>)> {
+    vec![
+        ("DCNN", 3.7, 2.4, Some(8.9)),
+        ("Cnvlutin", 2.8, 2.1, None),
+        ("Cambricon-X", 2.1, 1.9, None),
+        ("SCNN", 1.6, 1.7, Some(2.8)),
+        ("SparTen", 1.3, 1.5, Some(2.0)),
+        ("Cambricon-S", 1.5, 1.6, None),
+        ("SIGMA", 1.6, 2.1, None),
+        ("SpArch", 1.6, 2.0, None),
+    ]
+}
+
+/// Table V reference values: `(component, scnn_mm2, cscnn_mm2)`.
+pub fn table5_reference() -> Vec<(&'static str, f64, f64)> {
+    vec![
+        ("Total", 1.07, 1.26),
+        ("MulArray", 0.05, 0.05),
+        ("IB+OB", 0.41, 0.41),
+        ("WB", 0.22, 0.14),
+        ("AB", 0.14, 0.27),
+        ("Scatter", 0.11, 0.22),
+        ("CCU", 0.03, 0.05),
+        ("PPU", 0.13, 0.13),
+    ]
+}
+
+/// Fig. 11(a) reference: mixed tiling improves on planar by 1.28× and on
+/// output-channel tiling by 1.07× (geomean over LeNet-5, ConvNet, AlexNet,
+/// VGG16).
+pub const FIG11_MIXED_OVER_PLANAR: f64 = 1.28;
+/// See [`FIG11_MIXED_OVER_PLANAR`].
+pub const FIG11_MIXED_OVER_OUTPUT_CHANNEL: f64 = 1.07;
+/// Fig. 11(b): SCNN gains 1.2× from the tiling optimizations.
+pub const FIG11_SCNN_TILING_GAIN: f64 = 1.2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscnn::models::catalog;
+
+    #[test]
+    fn every_reference_model_resolves_in_the_catalog() {
+        for row in table2_rows().iter().chain(table3_rows().iter()) {
+            assert!(
+                catalog::by_name(row.model).is_some(),
+                "unknown model {}",
+                row.model
+            );
+        }
+    }
+
+    #[test]
+    fn headline_covers_all_eight_baselines() {
+        assert_eq!(headline_factors().len(), 8);
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal fixed-width table printer for the harness binaries.
+
+/// A fixed-width text table with a header row.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            widths: header.iter().map(|h| h.len()).collect(),
+            header: header.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header's column count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table to a string (first column left-aligned, the rest
+    /// right-aligned).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", c, width = w));
+                } else {
+                    line.push_str(&format!("  {:>width$}", c, width = w));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &self.widths));
+        out.push('\n');
+        let total: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &self.widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats an optional factor like `2.8x` or `-`.
+pub fn fmt_factor(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.1}x")).unwrap_or_else(|| "-".to_string())
+}
+
+/// Formats an optional percentage like `88.5` or `-`.
+pub fn fmt_pct(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1.0".into()]);
+        t.row(vec!["longer-name".into(), "12.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].contains("12.5"));
+        // All rows have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters_handle_missing_values() {
+        assert_eq!(fmt_factor(None), "-");
+        assert_eq!(fmt_factor(Some(2.75)), "2.8x");
+        assert_eq!(fmt_pct(Some(88.49)), "88.5");
+    }
+}

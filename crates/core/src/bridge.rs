@@ -1,0 +1,224 @@
+//! Trained-network → simulator bridge.
+//!
+//! The paper's simulator "takes the weights and activations extracted from
+//! PyTorch as input" (§IV). This module is that extraction for our stack:
+//! it derives a [`ModelDesc`] from a trained [`Network`], *measures* its
+//! per-layer weight and activation densities on real data, and hands both
+//! to the simulator — closing the algorithm→hardware loop without any
+//! calibrated profile in between.
+
+use cscnn_models::{LayerDesc, ModelDesc, SparsityProfile};
+use cscnn_nn::datasets::SyntheticImages;
+use cscnn_nn::{Conv2d, Linear, Network};
+use cscnn_sim::{Accelerator, Runner, RunStats};
+use cscnn_tensor::Tensor;
+
+/// Activation magnitude below which a value counts as zero when measuring
+/// density (post-ReLU zeros are exact; this guards against denormals).
+const ZERO_EPS: f32 = 1e-9;
+
+/// Derives the weight-bearing layer descriptions of a trained network fed
+/// with `(channels, height, width)` inputs.
+///
+/// # Panics
+///
+/// Panics if the network contains a weight-bearing layer the bridge does
+/// not recognize, or if a forward pass fails shape checks.
+pub fn describe_network(
+    net: &mut Network,
+    name: &str,
+    input: (usize, usize, usize),
+) -> ModelDesc {
+    let (c, h, w) = input;
+    // One tiny forward pass records each layer's input shape.
+    let mut shapes: Vec<Vec<usize>> = Vec::new();
+    let probe = Tensor::zeros(&[1, c, h, w]);
+    let _ = net.forward_observed(&probe, |_, _, x| shapes.push(x.shape().dims().to_vec()));
+    let mut layers = Vec::new();
+    for (i, dims) in shapes.iter().enumerate() {
+        let layer = net.layer_mut(i);
+        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
+            let wd = conv.weight().value.shape().dims().to_vec();
+            let spec = *conv.spec();
+            layers.push(LayerDesc::conv(
+                &format!("L{i}"),
+                wd[1],
+                wd[0],
+                wd[2],
+                wd[3],
+                dims[2],
+                dims[3],
+                spec.stride,
+                spec.padding,
+            ));
+        } else if let Some(linear) = layer.as_any_mut().downcast_mut::<Linear>() {
+            let wd = linear.weight().value.shape().dims().to_vec();
+            layers.push(LayerDesc::fc(&format!("L{i}"), wd[1], wd[0]));
+        }
+    }
+    ModelDesc::new(name, layers)
+}
+
+/// Measures per-layer stored-weight and input-activation densities over a
+/// batch of real data.
+///
+/// For centrosymmetric conv layers the weight density is measured over the
+/// *unique* (canonical-half) positions — the quantity the simulator's
+/// `centro` workloads expect.
+pub fn measure_profile(net: &mut Network, data: &SyntheticImages, batch: usize) -> SparsityProfile {
+    let indices: Vec<usize> = (0..data.len().min(batch)).collect();
+    let (x, _) = data.batch(&indices);
+    // Activation densities of each weight-bearing layer's input.
+    let mut act_density = Vec::new();
+    let mut weight_layer_indices = Vec::new();
+    let _ = net.forward_observed(&x, |i, name, input| {
+        if name == "conv2d" || name == "linear" {
+            act_density.push(input.density(ZERO_EPS));
+            weight_layer_indices.push(i);
+        }
+    });
+    // Stored-weight densities.
+    let mut weight_density = Vec::new();
+    for &i in &weight_layer_indices {
+        let layer = net.layer_mut(i);
+        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
+            let dims = conv.weight().value.shape().dims().to_vec();
+            let (k, c, r, s) = (dims[0], dims[1], dims[2], dims[3]);
+            let wv = conv.weight().value.as_slice();
+            if conv.is_centrosymmetric() {
+                let unique = cscnn_sparse::centro::unique_positions(r, s);
+                let mut nnz = 0usize;
+                for slice_idx in 0..k * c {
+                    let base = slice_idx * r * s;
+                    nnz += unique
+                        .iter()
+                        .filter(|&&(u, v)| wv[base + u * s + v].abs() > ZERO_EPS)
+                        .count();
+                }
+                weight_density.push(nnz as f64 / (k * c * unique.len()) as f64);
+            } else {
+                weight_density
+                    .push(wv.iter().filter(|x| x.abs() > ZERO_EPS).count() as f64 / wv.len() as f64);
+            }
+        } else if let Some(linear) = layer.as_any_mut().downcast_mut::<Linear>() {
+            let wv = linear.weight().value.as_slice();
+            weight_density
+                .push(wv.iter().filter(|x| x.abs() > ZERO_EPS).count() as f64 / wv.len() as f64);
+        }
+    }
+    SparsityProfile {
+        weight_density,
+        activation_density: act_density,
+    }
+}
+
+/// Simulates a *trained* network on an accelerator using measured shapes
+/// and densities (no calibrated profiles anywhere in the path).
+pub fn simulate_trained(
+    net: &mut Network,
+    name: &str,
+    input: (usize, usize, usize),
+    data: &SyntheticImages,
+    accelerator: &dyn Accelerator,
+    seed: u64,
+) -> RunStats {
+    let model = describe_network(net, name, input);
+    let profile = measure_profile(net, data, 16);
+    Runner::new(seed).run_model_with_profile(accelerator, &model, &profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscnn_nn::centrosymmetric;
+    use cscnn_nn::models;
+    use cscnn_nn::pruning;
+    use cscnn_nn::trainer::{TrainConfig, Trainer};
+    use cscnn_sim::{baselines, CartesianAccelerator};
+
+    #[test]
+    fn describe_recovers_tiny_cnn_geometry() {
+        let mut net = models::tiny_cnn(1, 16, 16, 4, 61);
+        let desc = describe_network(&mut net, "tiny", (1, 16, 16));
+        assert_eq!(desc.layers.len(), 3); // 2 convs + 1 fc
+        assert_eq!(desc.layers[0].c, 1);
+        assert_eq!(desc.layers[0].k, 8);
+        assert_eq!((desc.layers[0].h, desc.layers[0].w), (16, 16));
+        assert_eq!((desc.layers[1].h, desc.layers[1].w), (8, 8), "after pooling");
+        assert_eq!(desc.layers[2].kind, cscnn_models::LayerKind::FullyConnected);
+        assert_eq!(desc.layers[2].c, 16 * 4 * 4);
+    }
+
+    #[test]
+    fn measured_profile_reflects_pruning_and_relu() {
+        let data = SyntheticImages::generate(1, 16, 16, 3, 40, 0.12, 62);
+        let (train, test) = data.split(0.25);
+        let mut net = models::tiny_cnn(1, 16, 16, 3, 62);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        });
+        let _ = trainer.fit(&mut net, &train, &test);
+        let before = measure_profile(&mut net, &test, 16);
+        // First layer input is the dense image; deeper inputs are post-ReLU.
+        assert!(before.activation_density[0] > 0.95);
+        assert!(before.activation_density[1] < 0.95);
+        assert!(before.weight_density.iter().all(|&d| d > 0.95), "unpruned");
+        // Prune and re-measure: weight densities must drop accordingly.
+        for conv in net.conv_layers_mut() {
+            pruning::prune_conv(conv, 0.4);
+        }
+        let after = measure_profile(&mut net, &test, 16);
+        assert!(after.weight_density[0] < 0.5);
+        assert!(after.weight_density[1] < 0.5);
+    }
+
+    #[test]
+    fn centrosymmetric_density_is_measured_over_unique_positions() {
+        let mut net = models::tiny_cnn(1, 16, 16, 3, 63);
+        centrosymmetric::centrosymmetrize(&mut net);
+        let data = SyntheticImages::generate(1, 16, 16, 3, 10, 0.12, 63);
+        let profile = measure_profile(&mut net, &data, 8);
+        // Unpruned centrosymmetric layers are fully dense over the unique
+        // half.
+        assert!(profile.weight_density[0] > 0.99);
+    }
+
+    #[test]
+    fn trained_network_end_to_end_simulation_favors_cscnn() {
+        let data = SyntheticImages::generate(1, 16, 16, 3, 40, 0.12, 64);
+        let (train, test) = data.split(0.25);
+        let mut net = models::tiny_cnn(1, 16, 16, 3, 64);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        });
+        let _ = trainer.fit(&mut net, &train, &test);
+        centrosymmetric::centrosymmetrize(&mut net);
+        let _ = trainer.fit(&mut net, &train, &test);
+        for conv in net.conv_layers_mut() {
+            pruning::prune_conv(conv, 0.5);
+        }
+        let dcnn = simulate_trained(
+            &mut net,
+            "tiny",
+            (1, 16, 16),
+            &test,
+            &baselines::dcnn(),
+            7,
+        );
+        let cscnn = simulate_trained(
+            &mut net,
+            "tiny",
+            (1, 16, 16),
+            &test,
+            &CartesianAccelerator::cscnn(),
+            7,
+        );
+        assert!(
+            cscnn.speedup_over(&dcnn) > 1.0,
+            "measured-profile CSCNN speedup {}",
+            cscnn.speedup_over(&dcnn)
+        );
+    }
+}

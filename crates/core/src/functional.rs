@@ -1,0 +1,218 @@
+//! Functional end-to-end execution of a trained network on the
+//! accelerator's detailed dataflow.
+//!
+//! The timing simulator answers "how fast"; this module answers "does the
+//! dataflow compute the right numbers". It drives every conv layer of a
+//! real trained [`Network`] through [`cscnn_sim::pe_detailed`] — actual
+//! weight fibers (the centrosymmetric unique half when the layer is
+//! constrained), actual activation coordinates, the CCU's dual-coordinate
+//! scatter, halo-plane accumulation and cropping — and the remaining
+//! layers through the reference kernels, producing logits that must equal
+//! `Network::forward` exactly (up to f32 accumulation-order noise).
+//!
+//! This is the reproduction's stand-in for the paper's RTL prototype
+//! correctness argument.
+
+use cscnn_nn::{Conv2d, Layer, Network};
+use cscnn_sim::pe_detailed::{simulate_detailed, ChannelFibers, PeGeometry, WeightEntry};
+use cscnn_sparse::centro::unique_positions;
+use cscnn_tensor::Tensor;
+
+/// Runs `input` (`[1, C, H, W]`) through the network, executing every conv
+/// layer on the detailed accelerator dataflow. Returns the logits.
+///
+/// Statistics are accumulated into `mults_out` (total multiplications the
+/// dataflow issued) so callers can verify the reuse arithmetic.
+///
+/// # Panics
+///
+/// Panics if the batch is not 1, or if a conv layer has stride > 1 or
+/// groups > 1 (outside the dataflow validation scope).
+pub fn forward_on_dataflow(net: &mut Network, input: &Tensor, mults_out: &mut u64) -> Tensor {
+    assert_eq!(input.shape().dim(0), 1, "dataflow validation runs batch 1");
+    // Collect each layer's input by observing a reference pass, then
+    // replay: conv layers via the detailed dataflow, others via forward.
+    // (Simplest correct approach: run layer by layer ourselves.)
+    let n_layers = net.len();
+    let mut x = input.clone();
+    for i in 0..n_layers {
+        let layer = net.layer_mut(i);
+        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
+            x = conv_on_dataflow(conv, &x, mults_out);
+        } else {
+            x = layer.forward(&x);
+        }
+    }
+    x
+}
+
+/// Executes one conv layer on the detailed PE dataflow.
+fn conv_on_dataflow(conv: &mut Conv2d, input: &Tensor, mults_out: &mut u64) -> Tensor {
+    let spec = *conv.spec();
+    assert_eq!(spec.stride, 1, "dataflow validation covers unit stride");
+    let dims = input.shape().dims();
+    let (c, h, w) = (dims[1], dims[2], dims[3]);
+    let wd = conv.weight().value.shape().dims().to_vec();
+    let (k, r, s) = (wd[0], wd[2], wd[3]);
+    let dual = conv.is_centrosymmetric();
+    let geo = PeGeometry {
+        px: 4,
+        py: 4,
+        kernel_h: r,
+        kernel_w: s,
+        tile_h: h,
+        tile_w: w,
+        k_count: k,
+        dual,
+    };
+    // Build fibers: per input channel, the non-zero weights of every filter
+    // (unique half when centrosymmetric) and the non-zero activations.
+    let wv = conv.weight().value.as_slice();
+    let xv = input.as_slice();
+    let mut channels = Vec::with_capacity(c);
+    for ci in 0..c {
+        let mut weights = Vec::new();
+        for ki in 0..k {
+            let base = (ki * c + ci) * r * s;
+            if dual {
+                for (u, v) in unique_positions(r, s) {
+                    let value = wv[base + u * s + v];
+                    if value != 0.0 {
+                        weights.push(WeightEntry {
+                            k: ki as u16,
+                            r: u as u8,
+                            s: v as u8,
+                            value,
+                        });
+                    }
+                }
+            } else {
+                for u in 0..r {
+                    for v in 0..s {
+                        let value = wv[base + u * s + v];
+                        if value != 0.0 {
+                            weights.push(WeightEntry {
+                                k: ki as u16,
+                                r: u as u8,
+                                s: v as u8,
+                                value,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let mut acts = Vec::new();
+        for y in 0..h {
+            for xx in 0..w {
+                let value = xv[(ci * h + y) * w + xx];
+                if value != 0.0 {
+                    acts.push((y as u16, xx as u16, value));
+                }
+            }
+        }
+        channels.push(ChannelFibers { weights, acts });
+    }
+    let result = simulate_detailed(&geo, &channels);
+    *mults_out += result.counters.mults;
+    // Crop the halo-extended full-mode planes to the layer's padded output
+    // and add the bias: out(oy, ox) = acc(oy + R-1-p, ox + S-1-p).
+    let (oh, ow) = spec.output_dim(h, w);
+    let acc_w = geo.acc_w();
+    let bias = conv.params()[1].value.clone();
+    let mut out = Tensor::zeros(&[1, k, oh, ow]);
+    let dst = out.as_mut_slice();
+    for ki in 0..k {
+        let plane = &result.partial_sums[ki];
+        let b = bias.as_slice()[ki];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let ay = oy + (r - 1) - spec.padding;
+                let ax = ox + (s - 1) - spec.padding;
+                dst[(ki * oh + oy) * ow + ox] = plane[ay * acc_w + ax] + b;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscnn_nn::centrosymmetric;
+    use cscnn_nn::datasets::SyntheticImages;
+    use cscnn_nn::models;
+    use cscnn_nn::pruning;
+    use cscnn_nn::trainer::{TrainConfig, Trainer};
+
+    fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn dataflow_matches_reference_forward_dense() {
+        let data = SyntheticImages::generate(1, 16, 16, 3, 20, 0.12, 81);
+        let mut net = models::tiny_cnn(1, 16, 16, 3, 81);
+        let (x, _) = data.batch(&[0]);
+        let reference = net.forward(&x);
+        let mut mults = 0u64;
+        let dataflow = forward_on_dataflow(&mut net, &x, &mut mults);
+        assert_eq!(reference.shape(), dataflow.shape());
+        let diff = max_abs_diff(&reference, &dataflow);
+        assert!(diff < 1e-3, "max diff {diff}");
+        assert!(mults > 0);
+    }
+
+    #[test]
+    fn dataflow_matches_reference_after_full_compression() {
+        // Train → centrosymmetrize → retrain → prune → retrain, then run
+        // the compressed network on the dual-scatter dataflow: the logits
+        // must match the reference forward, and the dataflow must issue
+        // roughly half the multiplications of the dense run.
+        let data = SyntheticImages::generate(1, 16, 16, 3, 40, 0.12, 82);
+        let (train, test) = data.split(0.25);
+        let mut net = models::tiny_cnn(1, 16, 16, 3, 82);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        });
+        let _ = trainer.fit(&mut net, &train, &test);
+        let (x, _) = test.batch(&[0]);
+        let mut dense_mults = 0u64;
+        let _ = forward_on_dataflow(&mut net, &x, &mut dense_mults);
+
+        centrosymmetric::centrosymmetrize(&mut net);
+        let _ = trainer.fit(&mut net, &train, &test);
+        for conv in net.conv_layers_mut() {
+            pruning::prune_conv(conv, 0.6);
+        }
+        let _ = trainer.fit(&mut net, &train, &test);
+
+        let reference = net.forward(&x);
+        let mut compressed_mults = 0u64;
+        let dataflow = forward_on_dataflow(&mut net, &x, &mut compressed_mults);
+        let diff = max_abs_diff(&reference, &dataflow);
+        assert!(diff < 1e-3, "max diff {diff}");
+        // Unique-half storage + pruning: well under dense multiplications.
+        assert!(
+            (compressed_mults as f64) < 0.65 * dense_mults as f64,
+            "compressed {compressed_mults} vs dense {dense_mults}"
+        );
+    }
+
+    #[test]
+    fn dataflow_handles_all_zero_input() {
+        let mut net = models::tiny_cnn(1, 16, 16, 2, 83);
+        let x = Tensor::zeros(&[1, 1, 16, 16]);
+        let reference = net.forward(&x);
+        let mut mults = 0u64;
+        let dataflow = forward_on_dataflow(&mut net, &x, &mut mults);
+        let diff = max_abs_diff(&reference, &dataflow);
+        assert!(diff < 1e-4, "max diff {diff}");
+        assert_eq!(mults, 0, "no activations -> no multiplications");
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # cscnn
+//!
+//! A full Rust reproduction of **"CSCNN: Algorithm-hardware Co-design for
+//! CNN Accelerators using Centrosymmetric Filters"** (Li, Louri, Karanth,
+//! Bunescu — HPCA 2021).
+//!
+//! The crate is a facade over the workspace:
+//!
+//! | Re-export | Contents |
+//! |---|---|
+//! | [`tensor`] | N-d `f32` tensors, conv/pool/matmul kernels with backward passes |
+//! | [`nn`] | Layers, SGD training, centrosymmetric constraint, pruning, synthetic datasets |
+//! | [`sparse`] | Zero-run-length encodings, centrosymmetric filter storage |
+//! | [`models`] | Shape catalogs of the benchmark CNNs + compression math |
+//! | [`sim`] | The accelerator simulator, baselines, energy/area/DRAM models |
+//!
+//! Plus the high-level [`CompressionPipeline`] that performs the paper's
+//! algorithm-side flow end-to-end — train → project (Eq. 5) → retrain
+//! (Eq. 7) → prune → retrain — and [`evaluate_hardware`], which runs the
+//! paper's accelerator comparison on any catalog model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cscnn::models::catalog;
+//! use cscnn::sim::{baselines, CartesianAccelerator, Runner};
+//!
+//! // Simulate AlexNet on the CSCNN accelerator and the dense baseline.
+//! let runner = Runner::new(42);
+//! let model = catalog::lenet5();
+//! let dense = runner.run_model(&baselines::dcnn(), &model);
+//! let cscnn = runner.run_model(&CartesianAccelerator::cscnn(), &model);
+//! assert!(cscnn.speedup_over(&dense) > 1.0);
+//! ```
+
+pub use cscnn_models as models;
+pub use cscnn_nn as nn;
+pub use cscnn_sim as sim;
+pub use cscnn_sparse as sparse;
+pub use cscnn_tensor as tensor;
+
+mod bridge;
+mod functional;
+mod pipeline;
+
+pub use bridge::{describe_network, measure_profile, simulate_trained};
+pub use functional::forward_on_dataflow;
+pub use pipeline::{evaluate_hardware, CompressionPipeline, HardwareComparison, PipelineReport};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::models::catalog;
+    pub use crate::models::{CompressionScheme, ModelCompression, ModelDesc};
+    pub use crate::nn::centrosymmetric;
+    pub use crate::nn::datasets::SyntheticImages;
+    pub use crate::nn::trainer::{TrainConfig, Trainer};
+    pub use crate::nn::Network;
+    pub use crate::sim::hybrid::CscnnEie;
+    pub use crate::sim::{baselines, Accelerator, ArchConfig, CartesianAccelerator, Runner};
+    pub use crate::{evaluate_hardware, CompressionPipeline};
+}

@@ -1,0 +1,159 @@
+//! Additional common benchmarks beyond the paper's own suite: GoogLeNet
+//! (evaluated by SCNN, the paper's direct baseline) and MobileNetV1 — so
+//! downstream users can run the standard sparse-accelerator workloads.
+
+use crate::{LayerDesc, ModelDesc};
+
+/// Appends one Inception module: the four parallel branches of GoogLeNet
+/// (`1×1`, `1×1→3×3`, `1×1→5×5`, `pool→1×1`).
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    layers: &mut Vec<LayerDesc>,
+    name: &str,
+    cin: usize,
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    c5r: usize,
+    c5: usize,
+    pool_proj: usize,
+    hw: usize,
+) -> usize {
+    let n = |part: &str| format!("{name}/{part}");
+    layers.push(LayerDesc::conv(&n("1x1"), cin, c1, 1, 1, hw, hw, 1, 0));
+    layers.push(LayerDesc::conv(&n("3x3_reduce"), cin, c3r, 1, 1, hw, hw, 1, 0));
+    layers.push(LayerDesc::conv(&n("3x3"), c3r, c3, 3, 3, hw, hw, 1, 1));
+    layers.push(LayerDesc::conv(&n("5x5_reduce"), cin, c5r, 1, 1, hw, hw, 1, 0));
+    layers.push(LayerDesc::conv(&n("5x5"), c5r, c5, 5, 5, hw, hw, 1, 2));
+    layers.push(LayerDesc::conv(&n("pool_proj"), cin, pool_proj, 1, 1, hw, hw, 1, 0));
+    c1 + c3 + c5 + pool_proj
+}
+
+/// GoogLeNet (Inception v1) for ImageNet (`3×224×224`) — the workload
+/// SCNN's own evaluation used alongside AlexNet and VGG.
+pub fn googlenet() -> ModelDesc {
+    let mut layers = vec![
+        LayerDesc::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3), // → 112
+        // maxpool → 56
+        LayerDesc::conv("conv2_reduce", 64, 64, 1, 1, 56, 56, 1, 0),
+        LayerDesc::conv("conv2", 64, 192, 3, 3, 56, 56, 1, 1),
+        // maxpool → 28
+    ];
+    let mut c = 192;
+    c = inception(&mut layers, "inception_3a", c, 64, 96, 128, 16, 32, 32, 28);
+    c = inception(&mut layers, "inception_3b", c, 128, 128, 192, 32, 96, 64, 28);
+    // maxpool → 14
+    c = inception(&mut layers, "inception_4a", c, 192, 96, 208, 16, 48, 64, 14);
+    c = inception(&mut layers, "inception_4b", c, 160, 112, 224, 24, 64, 64, 14);
+    c = inception(&mut layers, "inception_4c", c, 128, 128, 256, 24, 64, 64, 14);
+    c = inception(&mut layers, "inception_4d", c, 112, 144, 288, 32, 64, 64, 14);
+    c = inception(&mut layers, "inception_4e", c, 256, 160, 320, 32, 128, 128, 14);
+    // maxpool → 7
+    c = inception(&mut layers, "inception_5a", c, 256, 160, 320, 32, 128, 128, 7);
+    c = inception(&mut layers, "inception_5b", c, 384, 192, 384, 48, 128, 128, 7);
+    layers.push(LayerDesc::fc("fc", c, 1000));
+    ModelDesc::new("GoogLeNet", layers)
+}
+
+/// MobileNetV1 (×1.0) for ImageNet (`3×224×224`): depthwise-separable
+/// stacks — the canonical pointwise-dominated workload.
+pub fn mobilenet_v1() -> ModelDesc {
+    let mut layers = vec![LayerDesc::conv("conv1", 3, 32, 3, 3, 224, 224, 2, 1)]; // → 112
+    // (cin, cout, stride, input hw) per depthwise-separable block.
+    let blocks: [(usize, usize, usize, usize); 13] = [
+        (32, 64, 1, 112),
+        (64, 128, 2, 112),
+        (128, 128, 1, 56),
+        (128, 256, 2, 56),
+        (256, 256, 1, 28),
+        (256, 512, 2, 28),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 1024, 2, 14),
+        (1024, 1024, 1, 7),
+    ];
+    for (i, &(cin, cout, stride, hw)) in blocks.iter().enumerate() {
+        let out_hw = hw / stride;
+        layers.push(LayerDesc::grouped(
+            &format!("dw{}", i + 1),
+            cin,
+            cin,
+            3,
+            3,
+            hw,
+            hw,
+            stride,
+            1,
+            cin,
+        ));
+        layers.push(LayerDesc::conv(
+            &format!("pw{}", i + 1),
+            cin,
+            cout,
+            1,
+            1,
+            out_hw,
+            out_hw,
+            1,
+            0,
+        ));
+    }
+    layers.push(LayerDesc::fc("fc", 1024, 1000));
+    ModelDesc::new("MobileNetV1", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn googlenet_mac_count_is_canonical() {
+        // ~1.5 GMACs.
+        let total = googlenet().dense_mults();
+        assert!(
+            (1_300_000_000..1_800_000_000).contains(&total),
+            "total={total}"
+        );
+    }
+
+    #[test]
+    fn googlenet_has_nine_inception_modules() {
+        let m = googlenet();
+        let modules: std::collections::BTreeSet<String> = m
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("inception_"))
+            .map(|l| l.name.split('/').next().expect("module prefix").to_string())
+            .collect();
+        assert_eq!(modules.len(), 9);
+        // Each module contributes six conv layers.
+        let inception_layers =
+            m.layers.iter().filter(|l| l.name.starts_with("inception_")).count();
+        assert_eq!(inception_layers, 9 * 6);
+    }
+
+    #[test]
+    fn mobilenet_mac_count_is_canonical() {
+        // ~570 MMACs.
+        let total = mobilenet_v1().dense_mults();
+        assert!((450_000_000..680_000_000).contains(&total), "total={total}");
+    }
+
+    #[test]
+    fn mobilenet_is_pointwise_dominated() {
+        let m = mobilenet_v1();
+        let pw: u64 = m
+            .layers
+            .iter()
+            .filter(|l| l.r == 1 && l.s == 1)
+            .map(|l| l.dense_mults())
+            .sum();
+        assert!(
+            pw as f64 / m.dense_mults() as f64 > 0.9,
+            "pointwise carries >90% of MACs"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Residual families: ResNet-18/50/152, ResNeXt-101, WideResNet-28-10.
+
+use crate::{LayerDesc, ModelDesc};
+
+/// Builds a basic-block stage (two 3×3 convs per block).
+///
+/// `h` is the stage's input spatial extent; the first block applies `stride`
+/// (and a 1×1 projection shortcut when stride ≠ 1 or channels change).
+fn basic_stage(
+    layers: &mut Vec<LayerDesc>,
+    stage: usize,
+    blocks: usize,
+    cin: usize,
+    cout: usize,
+    h: usize,
+    stride: usize,
+) -> usize {
+    let mut c = cin;
+    let mut hw = h;
+    for b in 0..blocks {
+        let s = if b == 0 { stride } else { 1 };
+        let name = |part: &str| format!("conv{stage}_{b}_{part}");
+        layers.push(LayerDesc::conv(&name("a"), c, cout, 3, 3, hw, hw, s, 1));
+        let out_hw = hw / s;
+        layers.push(LayerDesc::conv(&name("b"), cout, cout, 3, 3, out_hw, out_hw, 1, 1));
+        if b == 0 && (s != 1 || c != cout) {
+            layers.push(LayerDesc::conv(&name("ds"), c, cout, 1, 1, hw, hw, s, 0));
+        }
+        c = cout;
+        hw = out_hw;
+    }
+    hw
+}
+
+/// Builds a bottleneck stage (1×1 reduce, 3×3, 1×1 expand ×4), optionally
+/// grouped in the 3×3 (ResNeXt).
+#[allow(clippy::too_many_arguments)]
+fn bottleneck_stage(
+    layers: &mut Vec<LayerDesc>,
+    stage: usize,
+    blocks: usize,
+    cin: usize,
+    width: usize,
+    cout: usize,
+    h: usize,
+    stride: usize,
+    groups: usize,
+) -> usize {
+    let mut c = cin;
+    let mut hw = h;
+    for b in 0..blocks {
+        let s = if b == 0 { stride } else { 1 };
+        let name = |part: &str| format!("conv{stage}_{b}_{part}");
+        layers.push(LayerDesc::conv(&name("1x1a"), c, width, 1, 1, hw, hw, 1, 0));
+        layers.push(LayerDesc::grouped(
+            &name("3x3"),
+            width,
+            width,
+            3,
+            3,
+            hw,
+            hw,
+            s,
+            1,
+            groups,
+        ));
+        let out_hw = hw / s;
+        layers.push(LayerDesc::conv(
+            &name("1x1b"),
+            width,
+            cout,
+            1,
+            1,
+            out_hw,
+            out_hw,
+            1,
+            0,
+        ));
+        if b == 0 && (s != 1 || c != cout) {
+            layers.push(LayerDesc::conv(&name("ds"), c, cout, 1, 1, hw, hw, s, 0));
+        }
+        c = cout;
+        hw = out_hw;
+    }
+    hw
+}
+
+/// ResNet-18 for ImageNet (`3×224×224`).
+pub fn resnet18() -> ModelDesc {
+    let mut layers = vec![LayerDesc::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3)];
+    // maxpool 112 → 56.
+    let mut hw = 56;
+    hw = basic_stage(&mut layers, 2, 2, 64, 64, hw, 1);
+    hw = basic_stage(&mut layers, 3, 2, 64, 128, hw, 2);
+    hw = basic_stage(&mut layers, 4, 2, 128, 256, hw, 2);
+    let _ = basic_stage(&mut layers, 5, 2, 256, 512, hw, 2);
+    layers.push(LayerDesc::fc("fc", 512, 1000));
+    ModelDesc::new("ResNet-18", layers)
+}
+
+/// ResNet-50 for ImageNet.
+pub fn resnet50() -> ModelDesc {
+    resnet_bottleneck("ResNet-50", &[3, 4, 6, 3], 1)
+}
+
+/// ResNet-152 for ImageNet.
+pub fn resnet152() -> ModelDesc {
+    resnet_bottleneck("ResNet-152", &[3, 8, 36, 3], 1)
+}
+
+/// ResNeXt-101 (32×4d) for ImageNet: ResNet-101 stage depths with 32-way
+/// grouped 3×3 convs and doubled internal width.
+pub fn resnext101() -> ModelDesc {
+    let depths = [3usize, 4, 23, 3];
+    let mut layers = vec![LayerDesc::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3)];
+    let mut hw = 56;
+    let mut cin = 64;
+    // 32x4d: internal widths 128/256/512/1024, outputs 256/512/1024/2048.
+    let widths = [128usize, 256, 512, 1024];
+    let couts = [256usize, 512, 1024, 2048];
+    for (i, &blocks) in depths.iter().enumerate() {
+        let stride = if i == 0 { 1 } else { 2 };
+        hw = bottleneck_stage(
+            &mut layers,
+            i + 2,
+            blocks,
+            cin,
+            widths[i],
+            couts[i],
+            hw,
+            stride,
+            32,
+        );
+        cin = couts[i];
+    }
+    layers.push(LayerDesc::fc("fc", 2048, 1000));
+    ModelDesc::new("ResNeXt-101", layers)
+}
+
+fn resnet_bottleneck(name: &str, depths: &[usize; 4], groups: usize) -> ModelDesc {
+    let mut layers = vec![LayerDesc::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3)];
+    let mut hw = 56;
+    let mut cin = 64;
+    let widths = [64usize, 128, 256, 512];
+    let couts = [256usize, 512, 1024, 2048];
+    for (i, &blocks) in depths.iter().enumerate() {
+        let stride = if i == 0 { 1 } else { 2 };
+        hw = bottleneck_stage(
+            &mut layers,
+            i + 2,
+            blocks,
+            cin,
+            widths[i],
+            couts[i],
+            hw,
+            stride,
+            groups,
+        );
+        cin = couts[i];
+    }
+    layers.push(LayerDesc::fc("fc", 2048, 1000));
+    ModelDesc::new(name, layers)
+}
+
+/// WideResNet-28-10 for CIFAR-10 (`3×32×32`), the Table II entry.
+pub fn wide_resnet28_10() -> ModelDesc {
+    let mut layers = vec![LayerDesc::conv("conv1", 3, 16, 3, 3, 32, 32, 1, 1)];
+    let mut hw = 32;
+    hw = basic_stage(&mut layers, 2, 4, 16, 160, hw, 1);
+    hw = basic_stage(&mut layers, 3, 4, 160, 320, hw, 2);
+    let _ = basic_stage(&mut layers, 4, 4, 320, 640, hw, 2);
+    layers.push(LayerDesc::fc("fc", 640, 10));
+    ModelDesc::new("WideResNet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_mac_count_is_canonical() {
+        // ~1.8 GMACs.
+        let total = resnet18().dense_mults();
+        assert!(
+            (1_600_000_000..2_000_000_000).contains(&total),
+            "total={total}"
+        );
+    }
+
+    #[test]
+    fn resnet50_mac_count_is_canonical() {
+        // ~4.1 GMACs.
+        let total = resnet50().dense_mults();
+        assert!(
+            (3_700_000_000..4_400_000_000).contains(&total),
+            "total={total}"
+        );
+    }
+
+    #[test]
+    fn resnet152_mac_count_is_canonical() {
+        // ~11.5 GMACs.
+        let total = resnet152().dense_mults();
+        assert!(
+            (10_500_000_000..12_500_000_000).contains(&total),
+            "total={total}"
+        );
+    }
+
+    #[test]
+    fn resnet152_has_50_blocks_worth_of_layers() {
+        // 1 stem + 3·(3+8+36+3) bottleneck convs + 4 downsamples + fc.
+        let m = resnet152();
+        let convs = m.conv_layers().count();
+        assert_eq!(convs, 1 + 3 * 50 + 4);
+    }
+
+    #[test]
+    fn resnext_groups_reduce_weights() {
+        let rx = resnext101();
+        let grouped: Vec<_> = rx.layers.iter().filter(|l| l.groups == 32).collect();
+        assert!(!grouped.is_empty());
+        // A grouped 3x3 at width 128 has 128·4·9 weights, not 128·128·9.
+        let first = grouped[0];
+        assert_eq!(first.weights(), (first.k * (first.c / 32) * 9) as u64);
+    }
+
+    #[test]
+    fn wide_resnet_parameter_count_is_canonical() {
+        // WRN-28-10 has ~36.5 M parameters.
+        let w = wide_resnet28_10().weights();
+        assert!((35_000_000..38_000_000).contains(&w), "w={w}");
+    }
+
+    #[test]
+    fn final_stage_spatial_extent_is_seven() {
+        for m in [resnet18(), resnet50(), resnet152()] {
+            let last_conv = m
+                .conv_layers()
+                .last()
+                .expect("model has conv layers")
+                .clone();
+            assert_eq!(last_conv.output_dim().0, 7, "{}", m.name);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # cscnn-models
+//!
+//! Layer-shape catalogs of the CNNs the paper evaluates (Tables II/III and
+//! Figs. 7–11), per-layer sparsity profiles, and the multiplication-
+//! reduction arithmetic behind the compression tables.
+//!
+//! Unlike `cscnn-nn`, nothing here is trainable: a [`ModelDesc`] is a pure
+//! description — layer geometry, stride, grouping — from which MAC counts,
+//! weight counts, centrosymmetric eligibility and simulator workloads are
+//! derived.
+//!
+//! # Example
+//!
+//! ```
+//! use cscnn_models::catalog;
+//!
+//! let alexnet = catalog::alexnet();
+//! // AlexNet C1 has stride 4, so it is not centrosymmetric-eligible.
+//! assert!(!alexnet.layers[0].centro_eligible());
+//! assert!(alexnet.layers[1].centro_eligible());
+//! ```
+
+pub mod catalog;
+mod layer;
+pub mod mults;
+pub mod sparsity;
+
+pub use layer::{LayerDesc, LayerKind, ModelDesc};
+pub use mults::{CompressionScheme, ModelCompression};
+pub use sparsity::SparsityProfile;

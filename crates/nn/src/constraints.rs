@@ -1,0 +1,175 @@
+//! Alternative filter parameterizations (paper §II-D).
+//!
+//! The paper justifies centrosymmetric filters empirically against two
+//! other schemes with comparable parameter counts:
+//!
+//! - *smaller filters* — replace `3×3` kernels with `2×2` (4 parameters vs
+//!   the centrosymmetric 5); loses receptive field;
+//! - *triangular filters* — constrain each slice to an upper-triangular
+//!   matrix (6 parameters for `3×3`); loses symmetric coverage.
+//!
+//! This module implements those constraints (as structural masks that
+//! training preserves) plus the zero-center centrosymmetric variant the
+//! paper uses for the equal-parameter comparison (4 effective parameters).
+
+use cscnn_sparse::centro;
+use cscnn_tensor::Tensor;
+
+use crate::centrosymmetric::centrosymmetrize_conv;
+use crate::layers::Conv2d;
+
+/// Constrains a conv layer's filters to upper-triangular slices
+/// (`W(u,v) = 0` for `u > v`) via a structural mask. Returns the number of
+/// free parameters per slice.
+///
+/// # Panics
+///
+/// Panics if the kernel is not square (triangularity is undefined).
+pub fn apply_upper_triangular(conv: &mut Conv2d) -> usize {
+    let dims = conv.weight().value.shape().dims().to_vec();
+    let (k, c, r, s) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(r, s, "triangular filters require square kernels");
+    let mut mask = vec![0.0f32; k * c * r * s];
+    let mut free = 0usize;
+    for slice in 0..k * c {
+        for u in 0..r {
+            for v in 0..s {
+                if v >= u {
+                    mask[slice * r * s + u * s + v] = 1.0;
+                    if slice == 0 {
+                        free += 1;
+                    }
+                }
+            }
+        }
+    }
+    conv.weight_mut().mask = Some(Tensor::from_vec(mask, &[k, c, r, s]));
+    conv.weight_mut().enforce_mask();
+    free
+}
+
+/// Applies the zero-center centrosymmetric constraint: Eq. 5 projection +
+/// gradient tying, with the self-dual central weight additionally pinned to
+/// zero — the 4-effective-parameter variant the paper compares against
+/// `2×2` filters. Returns `false` for ineligible layers.
+pub fn apply_zero_center_centrosymmetric(conv: &mut Conv2d) -> bool {
+    if !centrosymmetrize_conv(conv) {
+        return false;
+    }
+    let dims = conv.weight().value.shape().dims().to_vec();
+    let (k, c, r, s) = (dims[0], dims[1], dims[2], dims[3]);
+    if r * s % 2 == 0 {
+        return true; // even kernels have no center to zero
+    }
+    let mut mask = vec![1.0f32; k * c * r * s];
+    let center = (r / 2) * s + s / 2;
+    for slice in 0..k * c {
+        mask[slice * r * s + center] = 0.0;
+    }
+    conv.weight_mut().mask = Some(Tensor::from_vec(mask, &[k, c, r, s]));
+    conv.weight_mut().enforce_mask();
+    true
+}
+
+/// Free parameters per `r×s` slice under each §II-D scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterScheme {
+    /// Unconstrained.
+    Full,
+    /// Centrosymmetric (Eq. 2).
+    Centrosymmetric,
+    /// Centrosymmetric with zero center.
+    CentrosymmetricZeroCenter,
+    /// Upper-triangular.
+    UpperTriangular,
+}
+
+impl FilterScheme {
+    /// Free parameters per `r×s` kernel slice.
+    pub fn params_per_slice(self, r: usize, s: usize) -> usize {
+        match self {
+            FilterScheme::Full => r * s,
+            FilterScheme::Centrosymmetric => centro::unique_weight_count(r, s),
+            FilterScheme::CentrosymmetricZeroCenter => {
+                centro::unique_weight_count(r, s) - usize::from(r * s % 2 == 1)
+            }
+            FilterScheme::UpperTriangular => {
+                assert_eq!(r, s, "triangular needs square kernels");
+                r * (r + 1) / 2
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscnn_tensor::{ConvSpec, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn conv3x3() -> Conv2d {
+        let mut rng = StdRng::seed_from_u64(13);
+        Conv2d::new(&mut rng, 2, 3, ConvSpec::new(3, 3).with_padding(1))
+    }
+
+    #[test]
+    fn params_per_slice_match_paper_comparison() {
+        assert_eq!(FilterScheme::Full.params_per_slice(3, 3), 9);
+        assert_eq!(FilterScheme::Centrosymmetric.params_per_slice(3, 3), 5);
+        assert_eq!(
+            FilterScheme::CentrosymmetricZeroCenter.params_per_slice(3, 3),
+            4,
+            "matches a 2x2 filter's 4 parameters"
+        );
+        assert_eq!(FilterScheme::UpperTriangular.params_per_slice(3, 3), 6);
+        assert_eq!(FilterScheme::Full.params_per_slice(2, 2), 4);
+    }
+
+    #[test]
+    fn triangular_mask_zeroes_below_diagonal() {
+        let mut conv = conv3x3();
+        let free = apply_upper_triangular(&mut conv);
+        assert_eq!(free, 6);
+        let w = conv.weight().value.as_slice();
+        for slice in w.chunks(9) {
+            assert_eq!(slice[3], 0.0); // (1,0)
+            assert_eq!(slice[6], 0.0); // (2,0)
+            assert_eq!(slice[7], 0.0); // (2,1)
+            assert!(slice[1] != 0.0 || slice[2] != 0.0, "upper part survives");
+        }
+    }
+
+    #[test]
+    fn triangular_constraint_survives_backward() {
+        let mut conv = conv3x3();
+        apply_upper_triangular(&mut conv);
+        use crate::layers::Layer;
+        let x = Tensor::from_fn(&[1, 2, 6, 6], |i| (i as f32 * 0.1).sin());
+        let y = conv.forward(&x);
+        let _ = conv.backward(&Tensor::full(y.shape().dims(), 1.0));
+        // Gradients of masked positions must be zero so SGD keeps them zero.
+        for slice in conv.weight().grad.as_slice().chunks(9) {
+            assert_eq!(slice[3], 0.0);
+            assert_eq!(slice[6], 0.0);
+            assert_eq!(slice[7], 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_center_variant_is_centrosymmetric_with_null_center() {
+        let mut conv = conv3x3();
+        assert!(apply_zero_center_centrosymmetric(&mut conv));
+        for slice in conv.weight().value.as_slice().chunks(9) {
+            assert!(cscnn_sparse::centro::is_centrosymmetric(slice, 3, 3, 1e-6));
+            assert_eq!(slice[4], 0.0, "center pinned to zero");
+        }
+    }
+
+    #[test]
+    fn strided_layers_reject_zero_center_constraint() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut conv = Conv2d::new(&mut rng, 2, 2, ConvSpec::new(3, 3).with_stride(2));
+        assert!(!apply_zero_center_centrosymmetric(&mut conv));
+    }
+}

@@ -1,0 +1,184 @@
+//! Reference model builders for the algorithm-side experiments.
+//!
+//! These are *trainable* networks (as opposed to the shape catalogs in
+//! `cscnn-models`, which describe full-size benchmark CNNs for the
+//! simulator). `lenet5` follows the classic architecture; `convnet_s` and
+//! `vgg_s` are scaled-down proxies of the paper's CIFAR models, sized so the
+//! accuracy experiments run in seconds on a CPU.
+
+use cscnn_tensor::{ConvSpec, PoolSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::layers::{Conv2d, Flatten, Linear, MaxPool, Relu};
+use crate::Network;
+
+/// A minimal two-conv CNN for unit tests and doc examples.
+///
+/// # Panics
+///
+/// Panics if the spatial extent is not divisible by 4.
+pub fn tiny_cnn(channels: usize, h: usize, w: usize, classes: usize, seed: u64) -> Network {
+    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "spatial extent must be divisible by 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    net.push(Conv2d::new(&mut rng, channels, 8, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2)));
+    net.push(Conv2d::new(&mut rng, 8, 16, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2)));
+    net.push(Flatten::new());
+    net.push(Linear::new(&mut rng, 16 * (h / 4) * (w / 4), classes));
+    net
+}
+
+/// Spatial input sizes seen by each conv layer of [`tiny_cnn`] for an
+/// `h × w` input.
+pub fn tiny_cnn_conv_inputs(h: usize, w: usize) -> Vec<(usize, usize)> {
+    vec![(h, w), (h / 2, w / 2)]
+}
+
+/// The §II-D "smaller filters" comparison model: [`tiny_cnn`]'s topology
+/// with `2×2` kernels (4 parameters per slice, matching the zero-center
+/// centrosymmetric `3×3`'s 4 effective parameters) and a correspondingly
+/// smaller receptive field.
+///
+/// # Panics
+///
+/// Panics if the spatial extent is too small for the reduction chain.
+pub fn tiny_cnn_2x2(channels: usize, h: usize, w: usize, classes: usize, seed: u64) -> Network {
+    assert!(h >= 8 && w >= 8, "input too small for the 2x2 chain");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    // 2x2 unpadded conv shrinks by 1; 2x2/2 pooling then halves.
+    let after = |d: usize| ((d - 1) - 2) / 2 + 1;
+    net.push(Conv2d::new(&mut rng, channels, 8, ConvSpec::new(2, 2)));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2)));
+    let (h1, w1) = (after(h), after(w));
+    net.push(Conv2d::new(&mut rng, 8, 16, ConvSpec::new(2, 2)));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2)));
+    let (h2, w2) = (after(h1), after(w1));
+    net.push(Flatten::new());
+    net.push(Linear::new(&mut rng, 16 * h2 * w2, classes));
+    net
+}
+
+/// LeNet-5 (LeCun et al. 1998) for `1×28×28` inputs — the network whose
+/// accuracy collapse/recovery the paper reports in §II-B
+/// (99.2 % → 71.6 % after projection, recovered by retraining).
+pub fn lenet5(classes: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    // C1: 6 feature maps, 5x5, pad 2 → 28x28.
+    net.push(Conv2d::new(&mut rng, 1, 6, ConvSpec::new(5, 5).with_padding(2)));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2))); // 14x14
+    // C3: 16 maps, 5x5 → 10x10.
+    net.push(Conv2d::new(&mut rng, 6, 16, ConvSpec::new(5, 5)));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2))); // 5x5
+    net.push(Flatten::new());
+    net.push(Linear::new(&mut rng, 16 * 5 * 5, 120));
+    net.push(Relu::new());
+    net.push(Linear::new(&mut rng, 120, 84));
+    net.push(Relu::new());
+    net.push(Linear::new(&mut rng, 84, classes));
+    net
+}
+
+/// Spatial input sizes seen by each conv layer of [`lenet5`] (for
+/// multiplication counting).
+pub fn lenet5_conv_inputs() -> Vec<(usize, usize)> {
+    vec![(28, 28), (14, 14)]
+}
+
+/// A scaled-down ConvNet (cuda-convnet style) proxy for `3×16×16` inputs.
+pub fn convnet_s(classes: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    net.push(Conv2d::new(&mut rng, 3, 16, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2))); // 8x8
+    net.push(Conv2d::new(&mut rng, 16, 32, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2))); // 4x4
+    net.push(Conv2d::new(&mut rng, 32, 32, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Relu::new());
+    net.push(Flatten::new());
+    net.push(Linear::new(&mut rng, 32 * 4 * 4, classes));
+    net
+}
+
+/// Spatial input sizes seen by each conv layer of [`convnet_s`].
+pub fn convnet_s_conv_inputs() -> Vec<(usize, usize)> {
+    vec![(16, 16), (8, 8), (4, 4)]
+}
+
+/// A scaled-down VGG-style proxy (stacked 3×3 blocks) for `3×16×16` inputs.
+pub fn vgg_s(classes: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    let blocks: [(usize, usize); 3] = [(3, 16), (16, 32), (32, 64)];
+    for (cin, cout) in blocks {
+        net.push(Conv2d::new(&mut rng, cin, cout, ConvSpec::new(3, 3).with_padding(1)));
+        net.push(Relu::new());
+        net.push(Conv2d::new(&mut rng, cout, cout, ConvSpec::new(3, 3).with_padding(1)));
+        net.push(Relu::new());
+        net.push(MaxPool::new(PoolSpec::new(2)));
+    }
+    net.push(Flatten::new());
+    net.push(Linear::new(&mut rng, 64 * 2 * 2, classes));
+    net
+}
+
+/// Spatial input sizes seen by each conv layer of [`vgg_s`].
+pub fn vgg_s_conv_inputs() -> Vec<(usize, usize)> {
+    vec![(16, 16), (16, 16), (8, 8), (8, 8), (4, 4), (4, 4)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cscnn_tensor::Tensor;
+
+    #[test]
+    fn lenet5_output_shape() {
+        let mut net = lenet5(10, 0);
+        let y = net.forward(&Tensor::zeros(&[2, 1, 28, 28]));
+        assert_eq!(y.shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn convnet_s_output_shape() {
+        let mut net = convnet_s(10, 0);
+        let y = net.forward(&Tensor::zeros(&[1, 3, 16, 16]));
+        assert_eq!(y.shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn vgg_s_output_shape() {
+        let mut net = vgg_s(10, 0);
+        let y = net.forward(&Tensor::zeros(&[1, 3, 16, 16]));
+        assert_eq!(y.shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn tiny_cnn_2x2_output_shape() {
+        let mut net = tiny_cnn_2x2(1, 16, 16, 5, 0);
+        let y = net.forward(&Tensor::zeros(&[2, 1, 16, 16]));
+        assert_eq!(y.shape().dims(), &[2, 5]);
+    }
+
+    #[test]
+    fn conv_input_lists_match_conv_layer_counts() {
+        assert_eq!(lenet5(10, 0).conv_layers_mut().count(), lenet5_conv_inputs().len());
+        assert_eq!(
+            convnet_s(10, 0).conv_layers_mut().count(),
+            convnet_s_conv_inputs().len()
+        );
+        assert_eq!(vgg_s(10, 0).conv_layers_mut().count(), vgg_s_conv_inputs().len());
+    }
+}

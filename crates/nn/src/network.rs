@@ -1,0 +1,171 @@
+//! Sequential network container.
+
+use cscnn_tensor::Tensor;
+
+use crate::layers::{Conv2d, Layer, Param};
+
+/// A sequential stack of layers.
+///
+/// # Example
+///
+/// ```
+/// use cscnn_nn::{Network, Relu, Flatten, Linear};
+/// use cscnn_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = Network::new();
+/// net.push(Flatten::new());
+/// net.push(Linear::new(&mut rng, 4, 2));
+/// net.push(Relu::new());
+/// let out = net.forward(&Tensor::zeros(&[1, 1, 2, 2]));
+/// assert_eq!(out.shape().dims(), &[1, 2]);
+/// ```
+#[derive(Default)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the forward pass through all layers, caching for backward.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Runs the forward pass, invoking `observe(layer_index, layer_name,
+    /// input)` with each layer's *input* tensor before that layer runs.
+    /// Used to extract measured activation sparsity for the simulator.
+    pub fn forward_observed(
+        &mut self,
+        input: &Tensor,
+        mut observe: impl FnMut(usize, &'static str, &Tensor),
+    ) -> Tensor {
+        let mut x = input.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            observe(i, layer.name(), &x);
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Runs the backward pass; must follow a `forward` call.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// All trainable parameters, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Shared view of all trainable parameters.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Iterates over the conv layers (used by the centrosymmetric and
+    /// pruning passes).
+    pub fn conv_layers_mut(&mut self) -> impl Iterator<Item = &mut Conv2d> {
+        self.layers
+            .iter_mut()
+            // Deref to `dyn Layer` first: calling through the box would hit
+            // the blanket impl on `Box<dyn Layer>` itself.
+            .filter_map(|l| l.as_mut().as_any_mut().downcast_mut::<Conv2d>())
+    }
+
+    /// Iterates over the fully-connected layers (used by the pruning pass).
+    pub fn linear_layers_mut(&mut self) -> impl Iterator<Item = &mut crate::layers::Linear> {
+        self.layers
+            .iter_mut()
+            .filter_map(|l| l.as_mut().as_any_mut().downcast_mut::<crate::layers::Linear>())
+    }
+
+    /// Borrows layer `i` as a trait object (downcast via `as_any_mut` to
+    /// reach concrete types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer_mut(&mut self, i: usize) -> &mut dyn Layer {
+        self.layers[i].as_mut()
+    }
+
+    /// Layer kind names, in order (useful for debugging and reports).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear, Relu};
+    use cscnn_tensor::ConvSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_backward_shapes_compose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Network::new();
+        net.push(Conv2d::new(&mut rng, 1, 4, ConvSpec::new(3, 3).with_padding(1)));
+        net.push(Relu::new());
+        net.push(Flatten::new());
+        net.push(Linear::new(&mut rng, 4 * 6 * 6, 3));
+        let x = Tensor::from_fn(&[2, 1, 6, 6], |i| (i as f32 * 0.05).sin());
+        let y = net.forward(&x);
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        let gi = net.backward(&Tensor::full(&[2, 3], 1.0));
+        assert_eq!(gi.shape().dims(), &[2, 1, 6, 6]);
+        assert_eq!(net.params().len(), 4); // conv w/b + linear w/b
+        assert!(net.num_params() > 0);
+    }
+
+    #[test]
+    fn conv_layers_mut_finds_only_convs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Network::new();
+        net.push(Conv2d::new(&mut rng, 1, 2, ConvSpec::new(3, 3)));
+        net.push(Relu::new());
+        net.push(Conv2d::new(&mut rng, 2, 2, ConvSpec::new(3, 3)));
+        assert_eq!(net.conv_layers_mut().count(), 2);
+        assert_eq!(net.layer_names(), vec!["conv2d", "relu", "conv2d"]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Deep-Compression-style magnitude pruning (paper §II-C).
+//!
+//! The paper combines centrosymmetric filters with the pruning pipeline of
+//! Han et al.: (1) train, (2) prune weights below a threshold, (3) retrain.
+//! For CSCNN layers, dual weights share one value so they are pruned
+//! *together*, preserving the centrosymmetric structure (the paper notes the
+//! pruned network "will maintain the centrosymmetric structure").
+//!
+//! Thresholds are chosen per layer from a target keep-fraction (quantile of
+//! absolute weight values), mirroring Deep Compression's per-layer
+//! sensitivity-derived rates.
+
+use cscnn_tensor::Tensor;
+
+use crate::layers::{Conv2d, Linear};
+use crate::Network;
+
+/// Per-layer pruning targets: the fraction of weights to *keep* in conv and
+/// FC layers respectively.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PruneConfig {
+    /// Keep fraction for conv layers (e.g. `0.35` keeps 35 % of weights).
+    pub conv_keep: f64,
+    /// Keep fraction for fully-connected layers (typically far lower).
+    pub fc_keep: f64,
+}
+
+impl Default for PruneConfig {
+    /// Deep Compression's AlexNet-like defaults: ~35 % of conv weights and
+    /// ~10 % of FC weights survive.
+    fn default() -> Self {
+        PruneConfig {
+            conv_keep: 0.35,
+            fc_keep: 0.10,
+        }
+    }
+}
+
+/// The absolute-value threshold that keeps `keep` fraction of `values`.
+///
+/// # Panics
+///
+/// Panics if `keep` is outside `[0, 1]` or `values` is empty.
+pub fn magnitude_threshold(values: &[f32], keep: f64) -> f32 {
+    assert!((0.0..=1.0).contains(&keep), "keep fraction must be in [0,1]");
+    assert!(!values.is_empty(), "cannot derive threshold of empty slice");
+    let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("NaN weight"));
+    let prune_count = ((values.len() as f64) * (1.0 - keep)).round() as usize;
+    if prune_count == 0 {
+        return -1.0; // keep everything (all |w| > -1)
+    }
+    if prune_count >= mags.len() {
+        return f32::INFINITY;
+    }
+    // Keep weights strictly above the magnitude of the last pruned weight.
+    mags[prune_count - 1]
+}
+
+/// Builds a 0/1 mask keeping values with `|w| > threshold`.
+pub fn magnitude_mask(values: &Tensor, threshold: f32) -> Tensor {
+    values.map(|v| if v.abs() > threshold { 1.0 } else { 0.0 })
+}
+
+/// Prunes one conv layer to the target keep fraction, installing a mask and
+/// zeroing pruned weights. Returns the achieved keep fraction.
+///
+/// For centrosymmetric layers the threshold is computed over the canonical
+/// half only, and the resulting mask is automatically symmetric because dual
+/// weights share the same value (verified in tests).
+pub fn prune_conv(conv: &mut Conv2d, keep: f64) -> f64 {
+    let threshold = magnitude_threshold(conv.weight().value.as_slice(), keep);
+    let mask = magnitude_mask(&conv.weight().value, threshold);
+    conv.weight_mut().mask = Some(mask);
+    conv.weight_mut().enforce_mask();
+    conv.weight().kept_fraction()
+}
+
+/// Prunes one FC layer to the target keep fraction. Returns the achieved
+/// keep fraction.
+pub fn prune_linear(linear: &mut Linear, keep: f64) -> f64 {
+    let threshold = magnitude_threshold(linear.weight().value.as_slice(), keep);
+    let mask = magnitude_mask(&linear.weight().value, threshold);
+    linear.weight_mut().mask = Some(mask);
+    linear.weight_mut().enforce_mask();
+    linear.weight().kept_fraction()
+}
+
+/// Prunes the whole network per [`PruneConfig`]. Returns the overall kept
+/// fraction of prunable weights.
+pub fn prune_network(net: &mut Network, config: &PruneConfig) -> f64 {
+    let mut kept = 0.0f64;
+    let mut total = 0.0f64;
+    for conv in net.conv_layers_mut() {
+        let n = conv.weight().value.len() as f64;
+        kept += prune_conv(conv, config.conv_keep) * n;
+        total += n;
+    }
+    for linear in net.linear_layers_mut() {
+        let n = linear.weight().value.len() as f64;
+        kept += prune_linear(linear, config.fc_keep) * n;
+        total += n;
+    }
+    if total == 0.0 {
+        1.0
+    } else {
+        kept / total
+    }
+}
+
+/// Gradual pruning schedule: linearly interpolates the keep fraction from
+/// 1.0 to the final target over `steps` pruning events, as in the iterative
+/// "prune a little, retrain" loop of Deep Compression.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GradualSchedule {
+    /// Final keep fraction.
+    pub final_keep: f64,
+    /// Number of pruning events.
+    pub steps: usize,
+}
+
+impl GradualSchedule {
+    /// Keep fraction at 0-based pruning step `i` (clamped at the target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    pub fn keep_at(&self, i: usize) -> f64 {
+        assert!(self.steps > 0, "schedule must have at least one step");
+        let t = ((i + 1) as f64 / self.steps as f64).min(1.0);
+        1.0 - t * (1.0 - self.final_keep)
+    }
+}
+
+/// Iterative "prune a little, retrain a little" driver (paper Fig. 2's
+/// step 2: "gradually prune the weights below a threshold"). Each round
+/// tightens the keep fraction along a [`GradualSchedule`] and retrains to
+/// let the surviving weights compensate.
+pub struct GradualPruner {
+    /// Conv-layer schedule.
+    pub conv: GradualSchedule,
+    /// FC-layer schedule.
+    pub fc: GradualSchedule,
+}
+
+impl GradualPruner {
+    /// Creates a pruner reaching the [`PruneConfig`] targets in `steps`
+    /// rounds.
+    pub fn new(target: &PruneConfig, steps: usize) -> Self {
+        GradualPruner {
+            conv: GradualSchedule {
+                final_keep: target.conv_keep,
+                steps,
+            },
+            fc: GradualSchedule {
+                final_keep: target.fc_keep,
+                steps,
+            },
+        }
+    }
+
+    /// Runs the full prune→retrain loop; `retrain` is invoked after every
+    /// pruning event (given the 0-based round index) and is expected to
+    /// train the network for a few epochs. Returns the per-round kept
+    /// fractions (overall, conv+fc weighted).
+    pub fn run(
+        &self,
+        net: &mut crate::Network,
+        mut retrain: impl FnMut(&mut crate::Network, usize),
+    ) -> Vec<f64> {
+        let steps = self.conv.steps.max(self.fc.steps);
+        let mut history = Vec::with_capacity(steps);
+        for round in 0..steps {
+            let kept = prune_network(
+                net,
+                &PruneConfig {
+                    conv_keep: self.conv.keep_at(round),
+                    fc_keep: self.fc.keep_at(round),
+                },
+            );
+            retrain(net, round);
+            history.push(kept);
+        }
+        history
+    }
+}
+
+/// Per-layer pruning-sensitivity scan (how Deep Compression chooses its
+/// per-layer rates): for each conv layer in isolation, sweep keep
+/// fractions and record held-out accuracy, restoring the original weights
+/// between probes.
+///
+/// Returns, per conv layer, the accuracy at each probed keep fraction.
+pub fn sensitivity_scan(
+    net: &mut Network,
+    data: &crate::datasets::SyntheticImages,
+    keep_fracs: &[f64],
+    batch: usize,
+) -> Vec<Vec<f64>> {
+    let n_convs = net.conv_layers_mut().count();
+    let mut results = Vec::with_capacity(n_convs);
+    for layer_idx in 0..n_convs {
+        let mut row = Vec::with_capacity(keep_fracs.len());
+        for &keep in keep_fracs {
+            // Save, prune this one layer, evaluate, restore.
+            let (saved_value, saved_mask) = {
+                let conv = net
+                    .conv_layers_mut()
+                    .nth(layer_idx)
+                    .expect("layer index in range");
+                (conv.weight().value.clone(), conv.weight().mask.clone())
+            };
+            {
+                let conv = net
+                    .conv_layers_mut()
+                    .nth(layer_idx)
+                    .expect("layer index in range");
+                prune_conv(conv, keep);
+            }
+            row.push(crate::trainer::evaluate(net, data, batch));
+            let conv = net
+                .conv_layers_mut()
+                .nth(layer_idx)
+                .expect("layer index in range");
+            conv.weight_mut().value = saved_value;
+            conv.weight_mut().mask = saved_mask;
+        }
+        results.push(row);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centrosymmetric::centrosymmetrize_conv;
+    use cscnn_sparse::centro;
+    use cscnn_tensor::ConvSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn threshold_keeps_requested_fraction() {
+        let values: Vec<f32> = (1..=100).map(|x| x as f32).collect();
+        let thr = magnitude_threshold(&values, 0.25);
+        let kept = values.iter().filter(|v| v.abs() > thr).count();
+        assert_eq!(kept, 25);
+    }
+
+    #[test]
+    fn keep_all_and_keep_none_edge_cases() {
+        let values = vec![1.0f32, -2.0, 3.0];
+        assert_eq!(magnitude_threshold(&values, 1.0), -1.0);
+        let thr0 = magnitude_threshold(&values, 0.0);
+        assert!(values.iter().all(|v| v.abs() <= thr0));
+    }
+
+    #[test]
+    fn pruned_centrosymmetric_layer_keeps_symmetric_mask() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut conv = Conv2d::new(&mut rng, 3, 4, ConvSpec::new(3, 3).with_padding(1));
+        centrosymmetrize_conv(&mut conv);
+        prune_conv(&mut conv, 0.4);
+        // Both the weights and the mask must remain centrosymmetric.
+        let w = conv.weight().value.as_slice();
+        for slice in w.chunks(9) {
+            assert!(centro::is_centrosymmetric(slice, 3, 3, 0.0));
+        }
+        let m = conv.weight().mask.as_ref().expect("mask installed");
+        for slice in m.as_slice().chunks(9) {
+            assert!(centro::is_centrosymmetric(slice, 3, 3, 0.0));
+        }
+    }
+
+    #[test]
+    fn achieved_keep_fraction_is_close_to_target() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut conv = Conv2d::new(&mut rng, 8, 16, ConvSpec::new(3, 3));
+        let achieved = prune_conv(&mut conv, 0.3);
+        assert!((achieved - 0.3).abs() < 0.05, "achieved={achieved}");
+    }
+
+    #[test]
+    fn gradual_pruner_converges_to_targets() {
+        use crate::datasets::SyntheticImages;
+        use crate::models;
+        use crate::trainer::{TrainConfig, Trainer};
+        let data = SyntheticImages::generate(1, 8, 8, 3, 40, 0.12, 71);
+        let (train, test) = data.split(0.25);
+        let mut net = models::tiny_cnn(1, 8, 8, 3, 71);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        });
+        let _ = trainer.fit(&mut net, &train, &test);
+        let pruner = GradualPruner::new(
+            &PruneConfig {
+                conv_keep: 0.4,
+                fc_keep: 0.2,
+            },
+            3,
+        );
+        let mut rounds_seen = 0;
+        let history = pruner.run(&mut net, |net, round| {
+            assert_eq!(round, rounds_seen);
+            rounds_seen += 1;
+            let quick = Trainer::new(TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            });
+            let _ = quick.fit(net, &train, &test);
+        });
+        assert_eq!(history.len(), 3);
+        // Kept fractions decrease round over round toward the target.
+        assert!(history[0] > history[2]);
+        let final_conv_kept = net
+            .conv_layers_mut()
+            .map(|c| c.weight().kept_fraction())
+            .fold(0.0, f64::max);
+        assert!((final_conv_kept - 0.4).abs() < 0.08, "kept {final_conv_kept}");
+        // And the network still works.
+        let acc = crate::trainer::evaluate(&mut net, &test, 16);
+        assert!(acc > 0.3, "acc {acc}");
+    }
+
+    #[test]
+    fn sensitivity_scan_is_monotone_and_non_destructive() {
+        use crate::datasets::SyntheticImages;
+        use crate::models;
+        use crate::trainer::{evaluate, TrainConfig, Trainer};
+        let data = SyntheticImages::generate(1, 8, 8, 3, 40, 0.12, 72);
+        let (train, test) = data.split(0.25);
+        let mut net = models::tiny_cnn(1, 8, 8, 3, 72);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        });
+        let _ = trainer.fit(&mut net, &train, &test);
+        let before = evaluate(&mut net, &test, 16);
+        let curves = sensitivity_scan(&mut net, &test, &[1.0, 0.5, 0.1], 16);
+        assert_eq!(curves.len(), 2, "one curve per conv layer");
+        for curve in &curves {
+            assert_eq!(curve.len(), 3);
+            // keep=1.0 must match the unpruned accuracy.
+            assert!((curve[0] - before).abs() < 1e-9);
+            // Pruning to 10% hurts at least as much as to 50% (allowing
+            // small non-monotonic noise).
+            assert!(curve[2] <= curve[1] + 0.1);
+        }
+        // The scan must restore the network exactly.
+        let after = evaluate(&mut net, &test, 16);
+        assert!((before - after).abs() < 1e-9, "scan must be non-destructive");
+    }
+
+    #[test]
+    fn gradual_schedule_interpolates_to_target() {
+        let s = GradualSchedule {
+            final_keep: 0.2,
+            steps: 4,
+        };
+        assert!((s.keep_at(0) - 0.8).abs() < 1e-12);
+        assert!((s.keep_at(3) - 0.2).abs() < 1e-12);
+        assert!((s.keep_at(10) - 0.2).abs() < 1e-12, "clamps past the end");
+        let mut prev = 1.0;
+        for i in 0..4 {
+            assert!(s.keep_at(i) < prev);
+            prev = s.keep_at(i);
+        }
+    }
+}

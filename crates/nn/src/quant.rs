@@ -1,0 +1,154 @@
+//! 16-bit fixed-point quantization (paper §IV: "We use 16-bit fixed-point
+//! arithmetic units as it has been proved to be effective in CNN
+//! computation").
+//!
+//! The simulator charges 16-bit energies; this module closes the loop on
+//! the *accuracy* side: quantize a trained network's weights to Q-format
+//! fixed point and verify inference survives, so the hardware's numeric
+//! choice is justified within the reproduction rather than assumed.
+
+use cscnn_tensor::Tensor;
+
+use crate::Network;
+
+/// A signed 16-bit fixed-point format with `frac_bits` fractional bits
+/// (`Q(15-frac_bits).frac_bits` plus sign).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QFormat {
+    /// Number of fractional bits (0–15).
+    pub frac_bits: u8,
+}
+
+impl QFormat {
+    /// Creates a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits > 15`.
+    pub fn new(frac_bits: u8) -> Self {
+        assert!(frac_bits <= 15, "at most 15 fractional bits");
+        QFormat { frac_bits }
+    }
+
+    /// The representable magnitude limit.
+    pub fn max_value(&self) -> f32 {
+        (i16::MAX as f32) / self.scale()
+    }
+
+    /// The quantization step.
+    pub fn resolution(&self) -> f32 {
+        1.0 / self.scale()
+    }
+
+    fn scale(&self) -> f32 {
+        (1i32 << self.frac_bits) as f32
+    }
+
+    /// Quantizes one value (round-to-nearest, saturating).
+    pub fn quantize(&self, x: f32) -> i16 {
+        (x * self.scale()).round().clamp(i16::MIN as f32, i16::MAX as f32) as i16
+    }
+
+    /// Dequantizes one value.
+    pub fn dequantize(&self, q: i16) -> f32 {
+        q as f32 / self.scale()
+    }
+
+    /// The tightest format (most fractional bits) that represents every
+    /// value of `values` without saturation.
+    pub fn fit(values: &[f32]) -> Self {
+        let max = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let mut frac = 15u8;
+        while frac > 0 && QFormat::new(frac).max_value() < max {
+            frac -= 1;
+        }
+        QFormat::new(frac)
+    }
+}
+
+/// Round-trips a tensor through fixed point, returning the quantized copy
+/// and the worst-case absolute error.
+pub fn quantize_tensor(t: &Tensor, fmt: QFormat) -> (Tensor, f32) {
+    let mut max_err = 0.0f32;
+    let data: Vec<f32> = t
+        .as_slice()
+        .iter()
+        .map(|&x| {
+            let y = fmt.dequantize(fmt.quantize(x));
+            max_err = max_err.max((x - y).abs());
+            y
+        })
+        .collect();
+    (Tensor::from_vec(data, t.shape().dims()), max_err)
+}
+
+/// Quantizes every parameter of a network in place (per-parameter fitted
+/// formats, as a per-layer scale factor in hardware would). Returns the
+/// worst absolute error across all parameters.
+pub fn quantize_network(net: &mut Network) -> f32 {
+    let mut worst = 0.0f32;
+    for p in net.params_mut() {
+        let fmt = QFormat::fit(p.value.as_slice());
+        let (q, err) = quantize_tensor(&p.value, fmt);
+        p.value = q;
+        p.enforce_mask();
+        worst = worst.max(err);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::SyntheticImages;
+    use crate::models;
+    use crate::trainer::{evaluate, TrainConfig, Trainer};
+
+    #[test]
+    fn quantize_round_trip_error_is_bounded_by_half_lsb() {
+        let fmt = QFormat::new(8);
+        for x in [-3.7f32, 0.0, 0.001, 120.0, -120.0] {
+            let y = fmt.dequantize(fmt.quantize(x));
+            assert!((x - y).abs() <= fmt.resolution() * 0.5 + 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_out_of_range_values() {
+        let fmt = QFormat::new(12);
+        let big = fmt.dequantize(fmt.quantize(1e6));
+        assert!((big - fmt.max_value()).abs() < fmt.resolution());
+    }
+
+    #[test]
+    fn fit_chooses_maximal_precision() {
+        let fmt = QFormat::fit(&[0.5, -0.25, 0.125]);
+        assert_eq!(fmt.frac_bits, 15, "sub-unit values use all 15 bits");
+        let fmt = QFormat::fit(&[100.0]);
+        assert!(fmt.max_value() >= 100.0);
+        assert!(QFormat::new(fmt.frac_bits + 1).max_value() < 100.0);
+    }
+
+    #[test]
+    fn quantized_network_keeps_its_accuracy() {
+        // The §IV premise: 16-bit fixed point is accuracy-neutral.
+        let data = SyntheticImages::generate(1, 8, 8, 3, 50, 0.12, 21);
+        let (train, test) = data.split(0.2);
+        let mut net = models::tiny_cnn(1, 8, 8, 3, 21);
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            lr: 0.05,
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut net, &train, &test);
+        let float_acc = report.final_test_accuracy;
+        let worst = quantize_network(&mut net);
+        let fixed_acc = evaluate(&mut net, &test, 16);
+        assert!(worst < 1e-2, "worst quantization error {worst}");
+        assert!(
+            (float_acc - fixed_acc).abs() < 0.05,
+            "float {float_acc} vs fixed {fixed_acc}"
+        );
+    }
+}

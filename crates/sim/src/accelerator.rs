@@ -1,0 +1,410 @@
+//! The Cartesian-product accelerator model, covering both SCNN (no
+//! multiplication reuse, planar tiling) and CSCNN (dual accumulation, mixed
+//! tiling) plus every tiling ablation of Fig. 11.
+
+use cscnn_models::{CompressionScheme, LayerKind};
+
+use crate::crossbar;
+use crate::interface::{Accelerator, Characteristics, LayerContext, TrafficModel};
+use crate::pe::{CartesianPe, PeResult};
+use crate::report::LayerStats;
+use crate::tiling::{self, TilingStrategy};
+use crate::ArchConfig;
+
+/// A configurable Cartesian-product accelerator.
+///
+/// # Example
+///
+/// ```
+/// use cscnn_sim::CartesianAccelerator;
+/// use cscnn_sim::interface::Accelerator;
+///
+/// let cscnn = CartesianAccelerator::cscnn();
+/// assert_eq!(cscnn.name(), "CSCNN");
+/// let scnn = CartesianAccelerator::scnn();
+/// assert_eq!(scnn.characteristics().sparsity, "A+W");
+/// ```
+#[derive(Clone, Debug)]
+pub struct CartesianAccelerator {
+    name: &'static str,
+    scheme: CompressionScheme,
+    tiling: TilingStrategy,
+    dual: bool,
+    balanced: bool,
+    mapper: bool,
+    config: ArchConfig,
+}
+
+impl CartesianAccelerator {
+    /// The paper's CSCNN accelerator: multiplication reuse, mixed tiling,
+    /// density-sorted filter assignment, running the CSCNN+Pruning model.
+    pub fn cscnn() -> Self {
+        CartesianAccelerator {
+            name: "CSCNN",
+            scheme: CompressionScheme::CscnnPruning,
+            tiling: TilingStrategy::Mixed,
+            dual: true,
+            balanced: true,
+            mapper: false,
+            config: ArchConfig::paper(),
+        }
+    }
+
+    /// SCNN: planar tiling, no reuse, running the Deep-Compression model.
+    /// (The SparTen greedy-balancing courtesy of §IV does not change planar
+    /// tiling, which has no filter grouping.)
+    pub fn scnn() -> Self {
+        CartesianAccelerator {
+            name: "SCNN",
+            scheme: CompressionScheme::DeepCompression,
+            tiling: TilingStrategy::Planar,
+            dual: false,
+            balanced: true,
+            mapper: false,
+            config: ArchConfig::paper_scnn(),
+        }
+    }
+
+    /// Overrides the tiling strategy (Fig. 11 ablations).
+    pub fn with_tiling(mut self, tiling: TilingStrategy) -> Self {
+        self.tiling = tiling;
+        self
+    }
+
+    /// Enables/disables density-sorted filter balancing.
+    pub fn with_balancing(mut self, balanced: bool) -> Self {
+        self.balanced = balanced;
+        self
+    }
+
+    /// Renames the variant (for ablation reporting).
+    pub fn with_name(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Overrides the architecture configuration (design-space sweeps).
+    pub fn with_config(mut self, config: ArchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enables the per-layer mapping search: every conv layer is planned
+    /// under all three tiling strategies and the fastest plan wins — an
+    /// explicit version of the paper's omitted "tiling factor setting
+    /// mechanism" (§III-C).
+    pub fn with_mapper(mut self, mapper: bool) -> Self {
+        self.mapper = mapper;
+        self
+    }
+
+    /// The tiling strategy in use.
+    pub fn tiling(&self) -> TilingStrategy {
+        self.tiling
+    }
+}
+
+
+impl CartesianAccelerator {
+    /// Executes a conv-layer plan on the fast PE model, including the
+    /// stride phase decomposition and halo exchange.
+    fn run_conv_plan(
+        &self,
+        pe: &CartesianPe,
+        wl: &crate::workload::LayerWorkload,
+        plan: &[tiling::PeAssignment],
+    ) -> Vec<PeResult> {
+        let layer = &wl.layer;
+        let c_per_group = wl.c_per_group();
+        let k_per_group = layer.k / layer.groups;
+        // Strided convolutions break the Cartesian product's premise that
+        // every weight meets every activation of a channel. The dataflow
+        // decomposes them into stride² phase sub-convolutions (weights and
+        // activations partitioned by coordinate parity); the ragged phase
+        // sub-kernels (an 11x11 at stride 4 shatters into 2x2/3x3
+        // fragments) leave roughly half the fetched operand pairs useless —
+        // the "unnecessary computations" the paper blames for SCNN/CSCNN
+        // falling behind DCNN on AlexNet C1 (Fig. 8).
+        let phases = (layer.stride * layer.stride) as u64;
+        const STRIDE_WASTE: f64 = 2.0;
+        let mut results = Vec::with_capacity(plan.len());
+        for assign in plan {
+            let mut channels = Vec::with_capacity(layer.c * phases as usize);
+            for c in 0..layer.c {
+                let conv_group = c / c_per_group;
+                let c_local = c % c_per_group;
+                let w: u64 = assign
+                    .k_set
+                    .iter()
+                    .filter(|&&k| k / k_per_group == conv_group)
+                    .map(|&k| wl.weight_nnz(k, c_local) as u64)
+                    .sum();
+                if w == 0 {
+                    continue;
+                }
+                let a = wl.act_tile_nnz(c, assign.tile_id, assign.tile_pixels) as u64;
+                if phases == 1 {
+                    channels.push((w, a));
+                } else {
+                    let w_p = ((w as f64 * STRIDE_WASTE) / phases as f64).ceil() as u64;
+                    let a_p = a.div_ceil(phases);
+                    for _ in 0..phases {
+                        channels.push((w_p, a_p));
+                    }
+                }
+            }
+            let outputs = (assign.k_set.len() * assign.out_pixels) as u64;
+            let mut result = pe.run_conv(&channels, outputs);
+            // Halo value exchange with neighbour PEs (§III-A).
+            let halo = (assign.k_set.len() * assign.halo_out_pixels) as u64;
+            let exchange = pe.halo_exchange(halo);
+            result.cycles += exchange.cycles;
+            result.counters.merge(&exchange.counters);
+            results.push(result);
+        }
+        results
+    }
+}
+
+impl Accelerator for CartesianAccelerator {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn scheme(&self) -> CompressionScheme {
+        self.scheme
+    }
+
+    fn config(&self) -> ArchConfig {
+        self.config.clone()
+    }
+
+    fn characteristics(&self) -> Characteristics {
+        if self.dual {
+            Characteristics {
+                compression: "Centrosymmetric filters",
+                sparsity: "A+W",
+                dataflow: "Cartesian product",
+            }
+        } else {
+            Characteristics {
+                compression: "Deep compression",
+                sparsity: "A+W",
+                dataflow: "Cartesian product",
+            }
+        }
+    }
+
+    fn simulate_layer(&self, ctx: &LayerContext<'_>) -> LayerStats {
+        let cfg = ctx.cfg;
+        let wl = ctx.workload;
+        let layer = &wl.layer;
+        let buffers = if self.dual && wl.centro { 2 } else { 1 };
+        let stall = crossbar::stall_factor(cfg.mult_px, cfg.mult_py, buffers);
+        let dual_here = self.dual && wl.centro;
+        let self_dual_frac = if dual_here && (layer.r * layer.s) % 2 == 1 {
+            1.0 / wl.stored_per_slice as f64
+        } else {
+            0.0
+        };
+        let pe = CartesianPe {
+            px: cfg.mult_px,
+            py: cfg.mult_py,
+            stall_factor: stall,
+            dual: dual_here,
+            self_dual_frac,
+        };
+        let mut results: Vec<PeResult> = Vec::new();
+        if layer.kind == LayerKind::FullyConnected {
+            // Distribute output neurons across PEs (density-balanced).
+            let nnz: Vec<u64> = (0..layer.k).map(|k| wl.fc_weight_nnz(k) as u64).collect();
+            let groups = if self.balanced {
+                tiling::balance_groups(&nnz, cfg.num_pes())
+            } else {
+                tiling::naive_groups(layer.k, cfg.num_pes())
+            };
+            for g in groups {
+                let w: u64 = g.iter().map(|&k| nnz[k]).sum();
+                results.push(pe.run_fc(w, wl.act_density, g.len() as u64));
+            }
+        } else if self.mapper {
+            // Mapping search: evaluate all strategies, keep the fastest.
+            let mut best: Option<Vec<PeResult>> = None;
+            for strategy in [
+                TilingStrategy::Planar,
+                TilingStrategy::OutputChannel,
+                TilingStrategy::Mixed,
+            ] {
+                let plan = tiling::plan(cfg, wl, strategy, self.balanced);
+                let candidate = self.run_conv_plan(&pe, wl, &plan);
+                let cycles = candidate.iter().map(|r| r.cycles).max().unwrap_or(0);
+                let best_cycles = best
+                    .as_ref()
+                    .map(|b| b.iter().map(|r| r.cycles).max().unwrap_or(0))
+                    .unwrap_or(u64::MAX);
+                if cycles < best_cycles {
+                    best = Some(candidate);
+                }
+            }
+            results = best.unwrap_or_default();
+        } else {
+            let plan = tiling::plan(cfg, wl, self.tiling, self.balanced);
+            results = self.run_conv_plan(&pe, wl, &plan);
+        }
+        // Inter-PE barrier: the layer completes when the slowest PE does.
+        let compute_cycles = results.iter().map(|r| r.cycles).max().unwrap_or(0);
+        let mut counters = crate::energy::EnergyCounters::default();
+        for r in &results {
+            counters.merge(&r.counters);
+        }
+        let traffic = TrafficModel {
+            compressed_acts: true,
+            compressed_weights: true,
+            act_amplification: 1.0,
+        };
+        counters.dram_bits = traffic.dram_bits(ctx);
+        let dram_time_s = ctx.dram.transfer_time_s(counters.dram_bits / 8);
+        let compute_time_s = compute_cycles as f64 * cfg.cycle_time();
+        let energy = crate::energy::energy_of(&counters, cfg, ctx.energy);
+        LayerStats {
+            name: layer.name.clone(),
+            compute_cycles,
+            dram_time_s,
+            time_s: compute_time_s.max(dram_time_s),
+            effective_mults: counters.mults,
+            counters,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramConfig;
+    use crate::energy::EnergyTable;
+    use crate::workload::LayerWorkload;
+    use cscnn_models::LayerDesc;
+
+    fn context<'a>(
+        cfg: &'a ArchConfig,
+        dram: &'a DramConfig,
+        energy: &'a EnergyTable,
+        wl: &'a LayerWorkload,
+    ) -> LayerContext<'a> {
+        LayerContext {
+            cfg,
+            dram,
+            energy,
+            workload: wl,
+            input_on_chip: true,
+            output_fits_on_chip: true,
+        }
+    }
+
+    #[test]
+    fn cscnn_outruns_scnn_on_an_eligible_layer() {
+        let layer = LayerDesc::conv("c", 64, 64, 3, 3, 28, 28, 1, 1);
+        let dram = DramConfig::default();
+        let energy = EnergyTable::default();
+        // SCNN runs DC-pruned weights at 0.4 density over all 9 positions;
+        // CSCNN runs the same effective weights over 5 unique positions.
+        let scnn = CartesianAccelerator::scnn();
+        let scnn_cfg = scnn.config();
+        let wl_scnn = LayerWorkload::synthesize(&layer, 0.4, 0.5, false, 7);
+        let s = scnn.simulate_layer(&context(&scnn_cfg, &dram, &energy, &wl_scnn));
+
+        let cscnn = CartesianAccelerator::cscnn();
+        let cscnn_cfg = cscnn.config();
+        let wl_cscnn = LayerWorkload::synthesize(&layer, 0.4, 0.5, true, 7);
+        let c = cscnn.simulate_layer(&context(&cscnn_cfg, &dram, &energy, &wl_cscnn));
+
+        assert!(
+            c.compute_cycles < s.compute_cycles,
+            "CSCNN {} vs SCNN {}",
+            c.compute_cycles,
+            s.compute_cycles
+        );
+        assert!(c.effective_mults < s.effective_mults);
+    }
+
+    #[test]
+    fn fc_layer_uses_degenerate_path() {
+        let layer = LayerDesc::fc("fc", 1024, 64);
+        let wl = LayerWorkload::synthesize(&layer, 0.1, 0.5, true, 8);
+        let acc = CartesianAccelerator::cscnn();
+        let cfg = acc.config();
+        let dram = DramConfig::default();
+        let energy = EnergyTable::default();
+        let stats = acc.simulate_layer(&context(&cfg, &dram, &energy, &wl));
+        assert!(stats.compute_cycles > 0);
+        // Zero activations are still skipped: mults ≈ nnzW × act density.
+        let expect = wl.total_weight_nnz() as f64 * 0.5;
+        assert!((stats.effective_mults as f64 - expect).abs() / expect < 0.2);
+    }
+
+    #[test]
+    fn depthwise_layer_simulates() {
+        let layer = LayerDesc::grouped("dw", 32, 32, 3, 3, 14, 14, 1, 1, 32);
+        let wl = LayerWorkload::synthesize(&layer, 0.8, 0.5, true, 9);
+        let acc = CartesianAccelerator::cscnn();
+        let cfg = acc.config();
+        let dram = DramConfig::default();
+        let energy = EnergyTable::default();
+        let stats = acc.simulate_layer(&context(&cfg, &dram, &energy, &wl));
+        assert!(stats.compute_cycles > 0);
+        assert!(stats.effective_mults > 0);
+    }
+
+    #[test]
+    fn mapper_never_loses_to_any_fixed_strategy() {
+        let dram = DramConfig::default();
+        let energy = EnergyTable::default();
+        for layer in [
+            LayerDesc::conv("small", 8, 6, 5, 5, 14, 14, 1, 2),
+            LayerDesc::conv("deep", 64, 64, 3, 3, 7, 7, 1, 1),
+            LayerDesc::conv("wide", 16, 128, 3, 3, 28, 28, 1, 1),
+        ] {
+            let wl = LayerWorkload::synthesize(&layer, 0.5, 0.5, true, 11);
+            let mapped_acc = CartesianAccelerator::cscnn().with_mapper(true);
+            let cfg = mapped_acc.config();
+            let mapped = mapped_acc
+                .simulate_layer(&context(&cfg, &dram, &energy, &wl))
+                .compute_cycles;
+            for strategy in [
+                TilingStrategy::Planar,
+                TilingStrategy::OutputChannel,
+                TilingStrategy::Mixed,
+            ] {
+                let fixed = CartesianAccelerator::cscnn()
+                    .with_tiling(strategy)
+                    .simulate_layer(&context(&cfg, &dram, &energy, &wl))
+                    .compute_cycles;
+                assert!(
+                    mapped <= fixed,
+                    "{}: mapper {mapped} vs {strategy:?} {fixed}",
+                    layer.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mults_match_structural_expectation() {
+        // Dense weights, dense acts, unit stride: products on SCNN must be
+        // close to dense MACs (padding halos aside).
+        let layer = LayerDesc::conv("c", 8, 8, 3, 3, 16, 16, 1, 1);
+        let wl = LayerWorkload::synthesize(&layer, 1.0, 1.0, false, 10);
+        let acc = CartesianAccelerator::scnn();
+        let cfg = acc.config();
+        let dram = DramConfig::default();
+        let energy = EnergyTable::default();
+        let stats = acc.simulate_layer(&context(&cfg, &dram, &energy, &wl));
+        let dense = layer.dense_mults() as f64;
+        let ratio = stats.effective_mults as f64 / dense;
+        // Full-mode Cartesian product computes all pairs, and planar tiles
+        // re-process halo activations: expect dense MACs inflated by the
+        // boundary products plus the ~(10·10)/(8·8) halo factor.
+        assert!((0.9..=1.7).contains(&ratio), "ratio={ratio}");
+    }
+}

@@ -1,0 +1,125 @@
+//! PE area model (Table V).
+//!
+//! Component area constants are calibrated against the paper's Table V
+//! (FreePDK45, Synopsys synthesis for logic, CACTI 6.0 for buffers). The
+//! model is parameterized by capacity, so configurations other than the
+//! paper's can be explored.
+
+use serde::Serialize;
+
+use crate::ArchConfig;
+
+/// Per-component PE area in mm² (45 nm).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct PeArea {
+    /// Multiplier array.
+    pub mul_array: f64,
+    /// Input + output activation buffers.
+    pub ib_ob: f64,
+    /// Weight buffer.
+    pub wb: f64,
+    /// Accumulator buffer(s).
+    pub ab: f64,
+    /// Scatter crossbar network(s).
+    pub scatter: f64,
+    /// Coordinate computation unit.
+    pub ccu: f64,
+    /// Post-processing unit.
+    pub ppu: f64,
+}
+
+/// mm² per 16-bit multiplier (16 multipliers ≈ 0.05 mm²).
+const MULT_MM2: f64 = 0.05 / 16.0;
+/// mm² per KB for plain (lightly banked) activation SRAM (40 KB ≈ 0.41).
+const PLAIN_SRAM_MM2_PER_KB: f64 = 0.41 / 40.0;
+/// mm² per KB for the weight buffer (16 KB ≈ 0.22 — wider ports).
+const WB_SRAM_MM2_PER_KB: f64 = 0.22 / 16.0;
+/// mm² per KB for the heavily banked accumulator SRAM (6 KB ≈ 0.14).
+const AB_SRAM_MM2_PER_KB: f64 = 0.14 / 6.0;
+/// mm² per 16×32 scatter crossbar.
+const CROSSBAR_MM2: f64 = 0.11;
+/// CCU base area; the CSCNN CCU also computes dual coordinates (~2×).
+const CCU_BASE_MM2: f64 = 0.03;
+/// PPU area.
+const PPU_MM2: f64 = 0.13;
+
+impl PeArea {
+    /// Area of an SCNN-style PE for `cfg` (single accumulator buffer,
+    /// single crossbar, plain CCU).
+    pub fn scnn(cfg: &ArchConfig) -> Self {
+        PeArea {
+            mul_array: cfg.multipliers_per_pe() as f64 * MULT_MM2,
+            ib_ob: cfg.ib_ob_bytes as f64 / 1024.0 * PLAIN_SRAM_MM2_PER_KB,
+            wb: cfg.wb_bytes as f64 / 1024.0 * WB_SRAM_MM2_PER_KB,
+            ab: cfg.ab_bytes as f64 / 1024.0 * AB_SRAM_MM2_PER_KB,
+            scatter: CROSSBAR_MM2,
+            ccu: CCU_BASE_MM2,
+            ppu: PPU_MM2,
+        }
+    }
+
+    /// Area of a CSCNN PE for `cfg`: doubled accumulator buffer and scatter
+    /// crossbar, dual-coordinate CCU.
+    pub fn cscnn(cfg: &ArchConfig) -> Self {
+        let n = cfg.accumulator_buffers as f64;
+        PeArea {
+            mul_array: cfg.multipliers_per_pe() as f64 * MULT_MM2,
+            ib_ob: cfg.ib_ob_bytes as f64 / 1024.0 * PLAIN_SRAM_MM2_PER_KB,
+            wb: cfg.wb_bytes as f64 / 1024.0 * WB_SRAM_MM2_PER_KB,
+            ab: n * cfg.ab_bytes as f64 / 1024.0 * AB_SRAM_MM2_PER_KB,
+            scatter: n * CROSSBAR_MM2,
+            ccu: CCU_BASE_MM2 * (1.0 + (n - 1.0) * 0.67),
+            ppu: PPU_MM2,
+        }
+    }
+
+    /// Total PE area.
+    pub fn total(&self) -> f64 {
+        self.mul_array + self.ib_ob + self.wb + self.ab + self.scatter + self.ccu + self.ppu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scnn_pe_area_matches_table_v() {
+        let a = PeArea::scnn(&ArchConfig::paper_scnn());
+        assert!((a.total() - 1.07).abs() < 0.05, "total={}", a.total());
+        assert!((a.mul_array - 0.05).abs() < 0.005);
+        assert!((a.ib_ob - 0.41).abs() < 0.01);
+        assert!((a.wb - 0.22).abs() < 0.01);
+        assert!((a.ab - 0.14).abs() < 0.01);
+    }
+
+    #[test]
+    fn cscnn_pe_area_matches_table_v() {
+        let a = PeArea::cscnn(&ArchConfig::paper());
+        assert!((a.total() - 1.26).abs() < 0.06, "total={}", a.total());
+        assert!((a.wb - 0.14).abs() < 0.01, "wb={}", a.wb);
+        assert!((a.ab - 0.28).abs() < 0.02, "ab={}", a.ab);
+        assert!((a.scatter - 0.22).abs() < 0.01);
+    }
+
+    #[test]
+    fn cscnn_overhead_is_moderate() {
+        let scnn = PeArea::scnn(&ArchConfig::paper_scnn()).total();
+        let cscnn = PeArea::cscnn(&ArchConfig::paper()).total();
+        let overhead = cscnn / scnn - 1.0;
+        // Paper: 17.7 % overhead.
+        assert!((0.12..=0.25).contains(&overhead), "overhead={overhead:.3}");
+    }
+
+    #[test]
+    fn memories_dominate_pe_area() {
+        for a in [
+            PeArea::scnn(&ArchConfig::paper_scnn()),
+            PeArea::cscnn(&ArchConfig::paper()),
+        ] {
+            let mem = a.ib_ob + a.wb + a.ab;
+            assert!(mem / a.total() > 0.5, "memories contribute >50%");
+            assert!(a.mul_array / a.total() < 0.05, "multipliers under 5%");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The dense baseline accelerator (DCNN).
+
+use cscnn_models::CompressionScheme;
+
+use crate::interface::Characteristics;
+
+use super::{AnalyticBaseline, AnalyticParams, FragDim};
+
+/// The dense CNN accelerator the paper normalizes against: a
+/// ShiDianNao-style output-stationary array (§IV, \[11\]).
+///
+/// Model notes:
+/// - Runs the *uncompressed* model (Table IV: no compression, no sparsity
+///   support); its cycle count is independent of weight/activation density.
+/// - Output-stationary dataflow broadcasts each weight across the lane
+///   group, so weight fetches amortize over the 64 lanes and activations
+///   are reused through the neighbor-shift registers (reuse ≈ lane width).
+/// - `base_utilization = 0.92`: dense arrays lose a few percent to pipeline
+///   fill/drain and edge tiles, nothing else.
+pub fn dcnn() -> AnalyticBaseline {
+    AnalyticBaseline::new(AnalyticParams {
+        name: "DCNN",
+        scheme: CompressionScheme::Dense,
+        characteristics: Characteristics {
+            compression: "-",
+            sparsity: "-",
+            dataflow: "Matrix-scalar product",
+        },
+        exploits_act_sparsity: false,
+        exploits_weight_sparsity: false,
+        weight_density_inflation: 1.0,
+        base_utilization: 0.92,
+        lane_width: 64,
+        frag_dim: FragDim::Pixels,
+        weight_reuse: 64.0,
+        act_reuse: 16.0,
+        compressed_weights: false,
+        compressed_acts: false,
+        others_ops_per_mac: 0.0,
+        ab_access_factor: 1.0,
+        im2col: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::Accelerator;
+
+    #[test]
+    fn dcnn_is_dense_in_every_respect() {
+        let d = dcnn();
+        assert_eq!(d.name(), "DCNN");
+        assert_eq!(d.scheme(), CompressionScheme::Dense);
+        assert_eq!(d.characteristics().sparsity, "-");
+        assert!(!d.params().compressed_weights);
+    }
+}

@@ -1,0 +1,62 @@
+//! EIE-style fully-connected engine (Han et al., ISCA 2016).
+//!
+//! Not part of the paper's Fig. 7 comparison, but §III-E recommends pairing
+//! CSCNN with "an architecture optimized for FC layers (such as EIE)"; the
+//! [`crate::hybrid`] accelerator realizes that recommendation, and this is
+//! its FC-side model.
+
+use cscnn_models::CompressionScheme;
+
+use crate::interface::Characteristics;
+
+use super::{AnalyticBaseline, AnalyticParams, FragDim};
+
+/// EIE \[42\]: compressed sparse-column matrix-vector engine for FC layers.
+///
+/// Model notes:
+/// - Exploits both sides: zero activations are skipped at the broadcast
+///   stage, zero weights by the CSC format.
+/// - PEs are output-stationary over CSC columns: high utilization on
+///   matrix-vector work (`base_utilization = 0.85`) with activation
+///   broadcast amortizing input reads across all lanes.
+/// - Weight reuse is 1 (each CSC entry used once per inference) — the
+///   defining property of FC layers — so weight streaming dominates, as in
+///   the original paper.
+pub fn eie() -> AnalyticBaseline {
+    AnalyticBaseline::new(AnalyticParams {
+        name: "EIE",
+        scheme: CompressionScheme::DeepCompression,
+        characteristics: Characteristics {
+            compression: "Deep compression",
+            sparsity: "A+W",
+            dataflow: "CSC matrix-vector",
+        },
+        exploits_act_sparsity: true,
+        exploits_weight_sparsity: true,
+        weight_density_inflation: 1.0,
+        base_utilization: 0.85,
+        lane_width: 16,
+        frag_dim: FragDim::OutputChannels,
+        weight_reuse: 1.0,
+        act_reuse: 16.0,
+        compressed_weights: true,
+        compressed_acts: true,
+        others_ops_per_mac: 0.2,
+        ab_access_factor: 1.0,
+        im2col: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::Accelerator;
+
+    #[test]
+    fn eie_is_a_two_sided_fc_engine() {
+        let e = eie();
+        assert_eq!(e.name(), "EIE");
+        assert!(e.params().exploits_act_sparsity && e.params().exploits_weight_sparsity);
+        assert_eq!(e.characteristics().dataflow, "CSC matrix-vector");
+    }
+}

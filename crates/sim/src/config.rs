@@ -1,0 +1,136 @@
+//! Accelerator architecture configuration.
+
+/// Architectural parameters shared by the simulated accelerators.
+///
+/// Defaults reproduce the paper's evaluated configuration (§IV): a `2×2` PE
+/// array, each PE with a `4×4` multiplier array, 800 MHz, 40 KB IB+OB,
+/// 10 KB (CSCNN) / 16 KB (SCNN) weight buffer, 12 KB / 6 KB accumulator
+/// buffers and `16×32` scatter crossbars.
+///
+/// # Example
+///
+/// ```
+/// use cscnn_sim::ArchConfig;
+///
+/// let cfg = ArchConfig::paper();
+/// assert_eq!(cfg.total_multipliers(), 64);
+/// assert_eq!(cfg.accumulator_banks(), 32);
+/// ```
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ArchConfig {
+    /// PE array rows.
+    pub pe_rows: usize,
+    /// PE array columns.
+    pub pe_cols: usize,
+    /// Multiplier-array weight-vector width (`Px` / SCNN's `F`).
+    pub mult_px: usize,
+    /// Multiplier-array activation-vector width (`Py` / SCNN's `I`).
+    pub mult_py: usize,
+    /// Clock frequency in Hz.
+    pub frequency_hz: f64,
+    /// Per-PE input+output activation buffer capacity in bytes.
+    pub ib_ob_bytes: usize,
+    /// Per-PE weight buffer capacity in bytes.
+    pub wb_bytes: usize,
+    /// Per-PE accumulator buffer capacity in bytes (per buffer).
+    pub ab_bytes: usize,
+    /// Number of independent accumulator buffers (SCNN: 1, CSCNN: 2).
+    pub accumulator_buffers: usize,
+    /// Data word width in bits (16-bit fixed point, §IV).
+    pub word_bits: usize,
+    /// Zero-run index field width in bits (SCNN's compressed encoding).
+    pub index_bits: usize,
+    /// Shared global buffer capacity in bytes (for cross-layer reuse).
+    pub glb_bytes: usize,
+    /// Number of PE sub-arrays used by the mixed spatial tiling (§III-C);
+    /// the paper's 8×8 example uses 4, the evaluated 2×2 array uses 2.
+    pub mixed_subarrays: usize,
+}
+
+impl ArchConfig {
+    /// The paper's evaluated CSCNN configuration.
+    pub fn paper() -> Self {
+        ArchConfig {
+            pe_rows: 2,
+            pe_cols: 2,
+            mult_px: 4,
+            mult_py: 4,
+            frequency_hz: 800e6,
+            ib_ob_bytes: 40 * 1024,
+            wb_bytes: 10 * 1024,
+            ab_bytes: 6 * 1024, // per buffer; CSCNN has two (12 KB total)
+            accumulator_buffers: 2,
+            word_bits: 16,
+            index_bits: 4,
+            glb_bytes: 1024 * 1024,
+            mixed_subarrays: 2,
+        }
+    }
+
+    /// The paper's SCNN-equivalent configuration (single accumulator
+    /// buffer, larger weight buffer for uncompressed dual weights).
+    pub fn paper_scnn() -> Self {
+        ArchConfig {
+            wb_bytes: 16 * 1024,
+            ab_bytes: 6 * 1024,
+            accumulator_buffers: 1,
+            ..Self::paper()
+        }
+    }
+
+    /// Number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Multipliers per PE.
+    pub fn multipliers_per_pe(&self) -> usize {
+        self.mult_px * self.mult_py
+    }
+
+    /// Total multipliers across the array (baselines are equalized to this,
+    /// §IV "equipped with the same number of multipliers").
+    pub fn total_multipliers(&self) -> usize {
+        self.num_pes() * self.multipliers_per_pe()
+    }
+
+    /// Accumulator banks per buffer (`2·Px·Py`, as in SCNN).
+    pub fn accumulator_banks(&self) -> usize {
+        2 * self.multipliers_per_pe()
+    }
+
+    /// Seconds per cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.frequency_hz
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_iv() {
+        let c = ArchConfig::paper();
+        assert_eq!(c.num_pes(), 4);
+        assert_eq!(c.multipliers_per_pe(), 16);
+        assert_eq!(c.total_multipliers(), 64);
+        assert_eq!(c.ib_ob_bytes, 40 * 1024);
+        assert_eq!(c.wb_bytes, 10 * 1024);
+        assert!((c.cycle_time() - 1.25e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scnn_variant_differs_only_in_buffers() {
+        let c = ArchConfig::paper_scnn();
+        assert_eq!(c.wb_bytes, 16 * 1024);
+        assert_eq!(c.accumulator_buffers, 1);
+        assert_eq!(c.total_multipliers(), ArchConfig::paper().total_multipliers());
+    }
+}

@@ -1,0 +1,118 @@
+//! Off-chip DRAM timing model (DRAMSim2 substitution, see DESIGN.md §2).
+//!
+//! A bank/row-buffer model of a single-rank DDR3-1600 x64 channel: streaming
+//! accesses hit the open row for `row_bytes` before paying an
+//! activate/precharge penalty. This captures the first-order behaviour the
+//! paper gets from DRAMSim2 — bandwidth-bound transfer time with row-miss
+//! overhead — which is all the layer-level `max(compute, memory)` overlap
+//! model consumes.
+
+use serde::Serialize;
+
+/// DRAM channel parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, serde::Deserialize)]
+pub struct DramConfig {
+    /// Peak bandwidth in bytes/second (DDR3-1600 x64 ≈ 12.8 GB/s).
+    pub peak_bytes_per_s: f64,
+    /// Open-row run length in bytes before an activate/precharge penalty.
+    pub row_bytes: usize,
+    /// Row activate + precharge penalty in seconds (tRCD + tRP ≈ 27.5 ns).
+    pub row_penalty_s: f64,
+    /// Fraction of traffic that streams sequentially (row-friendly). The
+    /// remainder pays a row penalty per burst, amortized across banks.
+    pub sequential_fraction: f64,
+    /// Burst size in bytes (BL8 × 64-bit bus = 64 B).
+    pub burst_bytes: usize,
+    /// Banks available to overlap activate/precharge latency of the random
+    /// traffic.
+    pub banks: usize,
+}
+
+impl DramConfig {
+    /// DDR3-1600 with mostly-sequential accelerator traffic.
+    pub fn ddr3_1600() -> Self {
+        DramConfig {
+            peak_bytes_per_s: 12.8e9,
+            row_bytes: 8192,
+            row_penalty_s: 27.5e-9,
+            sequential_fraction: 0.9,
+            burst_bytes: 64,
+            banks: 8,
+        }
+    }
+
+    /// Time to transfer `bytes` of accelerator traffic.
+    ///
+    /// Sequential traffic pays one row penalty per `row_bytes`; the random
+    /// remainder pays one per burst, overlapped across `banks` so only
+    /// `1/banks` of those penalties land on the critical path.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let data_s = bytes as f64 / self.peak_bytes_per_s;
+        let seq_bytes = bytes as f64 * self.sequential_fraction;
+        let rand_bytes = bytes as f64 - seq_bytes;
+        let seq_penalties = (seq_bytes / self.row_bytes as f64).ceil();
+        let rand_penalties =
+            (rand_bytes / self.burst_bytes as f64).ceil() / self.banks.max(1) as f64;
+        data_s + (seq_penalties + rand_penalties) * self.row_penalty_s
+    }
+
+    /// Effective bandwidth (bytes/s) for a transfer of `bytes`.
+    pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return self.peak_bytes_per_s;
+        }
+        bytes as f64 / self.transfer_time_s(bytes)
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_takes_zero_time() {
+        assert_eq!(DramConfig::default().transfer_time_s(0), 0.0);
+    }
+
+    #[test]
+    fn large_sequential_transfers_approach_peak_bandwidth() {
+        let d = DramConfig::ddr3_1600();
+        let eff = d.effective_bandwidth(256 * 1024 * 1024);
+        assert!(eff > 0.7 * d.peak_bytes_per_s, "eff={eff:e}");
+        assert!(eff < d.peak_bytes_per_s);
+    }
+
+    #[test]
+    fn random_traffic_is_slower_than_sequential() {
+        let seq = DramConfig {
+            sequential_fraction: 1.0,
+            ..DramConfig::ddr3_1600()
+        };
+        let rnd = DramConfig {
+            sequential_fraction: 0.0,
+            ..DramConfig::ddr3_1600()
+        };
+        let bytes = 1 << 20;
+        assert!(rnd.transfer_time_s(bytes) > 1.5 * seq.transfer_time_s(bytes));
+    }
+
+    #[test]
+    fn time_is_monotone_in_bytes() {
+        let d = DramConfig::default();
+        let mut prev = 0.0;
+        for shift in 10..26 {
+            let t = d.transfer_time_s(1 << shift);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+}

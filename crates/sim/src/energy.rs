@@ -1,0 +1,250 @@
+//! Energy model.
+//!
+//! Arithmetic energies come from Horowitz's 45 nm table (the paper's source
+//! \[47\]); SRAM access energies follow a CACTI-style capacity scaling law;
+//! DRAM energy uses the widely cited ~20 pJ/bit figure from the same table.
+//! All values are picojoules.
+
+use serde::Serialize;
+
+use crate::ArchConfig;
+
+/// Per-operation energy constants (pJ), 45 nm, 16-bit datapath.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct EnergyTable {
+    /// One 16-bit integer multiply.
+    pub mult_pj: f64,
+    /// One 16-bit integer add.
+    pub add_pj: f64,
+    /// DRAM energy per bit.
+    pub dram_pj_per_bit: f64,
+    /// Crossbar traversal per 16-bit word.
+    pub crossbar_pj: f64,
+    /// Coordinate-computation (CCU) energy per product.
+    pub ccu_pj: f64,
+    /// Post-processing (PPU) energy per output element.
+    pub ppu_pj: f64,
+}
+
+impl EnergyTable {
+    /// The 45 nm constants used throughout the evaluation.
+    ///
+    /// Horowitz: 32-bit int add 0.1 pJ, 32-bit int mult 3.1 pJ (the 31×
+    /// ratio the paper quotes); 16-bit values scale to ~0.05 / 0.8 pJ.
+    pub fn horowitz_45nm() -> Self {
+        EnergyTable {
+            mult_pj: 0.8,
+            add_pj: 0.05,
+            dram_pj_per_bit: 20.0,
+            crossbar_pj: 0.08,
+            ccu_pj: 0.05,
+            ppu_pj: 0.15,
+        }
+    }
+
+    /// CACTI-style SRAM read/write energy per 16-bit word for a buffer of
+    /// `bytes` capacity: `16·(0.045·√KB + 0.01)` pJ — a capacity-scaling
+    /// fit anchored on the widely used Eyeriss-era 45 nm points (a ~16 KB
+    /// scratchpad access ≈ 3 pJ, a 64 KB global buffer ≈ 6 pJ per 16-bit
+    /// word, register-file-sized banks well under 1 pJ).
+    pub fn sram_pj(&self, bytes: usize) -> f64 {
+        let kb = bytes as f64 / 1024.0;
+        16.0 * (0.045 * kb.sqrt() + 0.01)
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        Self::horowitz_45nm()
+    }
+}
+
+/// Raw event counts collected while simulating one layer or network.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct EnergyCounters {
+    /// Multiplications issued.
+    pub mults: u64,
+    /// Accumulation additions.
+    pub adds: u64,
+    /// Weight-buffer word reads.
+    pub wb_reads: u64,
+    /// Input-buffer word reads.
+    pub ib_reads: u64,
+    /// Accumulator-buffer accesses (read+write pairs count as 2).
+    pub ab_accesses: u64,
+    /// Output-buffer word writes.
+    pub ob_writes: u64,
+    /// Crossbar word traversals.
+    pub crossbar_words: u64,
+    /// CCU coordinate computations.
+    pub ccu_ops: u64,
+    /// PPU output post-process operations.
+    pub ppu_ops: u64,
+    /// Index-metadata word reads (sparse-format overhead).
+    pub index_reads: u64,
+    /// DRAM traffic in bits.
+    pub dram_bits: u64,
+}
+
+impl EnergyCounters {
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &EnergyCounters) {
+        self.mults += other.mults;
+        self.adds += other.adds;
+        self.wb_reads += other.wb_reads;
+        self.ib_reads += other.ib_reads;
+        self.ab_accesses += other.ab_accesses;
+        self.ob_writes += other.ob_writes;
+        self.crossbar_words += other.crossbar_words;
+        self.ccu_ops += other.ccu_ops;
+        self.ppu_ops += other.ppu_ops;
+        self.index_reads += other.index_reads;
+        self.dram_bits += other.dram_bits;
+    }
+}
+
+/// Energy in picojoules, broken down three ways (Fig. 9) and by component
+/// (Fig. 10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct EnergyBreakdown {
+    /// Arithmetic (multiplier array + adders).
+    pub compute_pj: f64,
+    /// On-chip memory accesses (WB, IB, OB, AB, index metadata).
+    pub memory_pj: f64,
+    /// Everything else (crossbar, CCU, PPU, control).
+    pub others_pj: f64,
+    /// Off-chip DRAM (reported separately; Fig. 9 excludes it).
+    pub dram_pj: f64,
+    /// Per-component view: multiplier array.
+    pub mul_array_pj: f64,
+    /// Per-component view: input+output buffers.
+    pub ib_ob_pj: f64,
+    /// Per-component view: weight buffer.
+    pub wb_pj: f64,
+    /// Per-component view: accumulator buffer(s).
+    pub ab_pj: f64,
+    /// Per-component view: scatter crossbar(s).
+    pub crossbar_pj: f64,
+    /// Per-component view: CCU.
+    pub ccu_pj: f64,
+    /// Per-component view: PPU.
+    pub ppu_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// On-chip total (the Fig. 9 quantity).
+    pub fn on_chip_pj(&self) -> f64 {
+        self.compute_pj + self.memory_pj + self.others_pj
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, o: &EnergyBreakdown) {
+        self.compute_pj += o.compute_pj;
+        self.memory_pj += o.memory_pj;
+        self.others_pj += o.others_pj;
+        self.dram_pj += o.dram_pj;
+        self.mul_array_pj += o.mul_array_pj;
+        self.ib_ob_pj += o.ib_ob_pj;
+        self.wb_pj += o.wb_pj;
+        self.ab_pj += o.ab_pj;
+        self.crossbar_pj += o.crossbar_pj;
+        self.ccu_pj += o.ccu_pj;
+        self.ppu_pj += o.ppu_pj;
+    }
+}
+
+/// Converts raw counters into an energy breakdown for a given architecture.
+pub fn energy_of(counters: &EnergyCounters, cfg: &ArchConfig, table: &EnergyTable) -> EnergyBreakdown {
+    let wb_word = table.sram_pj(cfg.wb_bytes);
+    let ib_word = table.sram_pj(cfg.ib_ob_bytes);
+    // The accumulator buffer is heavily banked for parallel accumulation
+    // (`2·Px·Py` banks); each access touches one small bank, so the access
+    // energy follows the per-bank capacity.
+    let ab_word = table.sram_pj(cfg.ab_bytes / cfg.accumulator_banks());
+    let mul = counters.mults as f64 * table.mult_pj;
+    let add = counters.adds as f64 * table.add_pj;
+    let wb = counters.wb_reads as f64 * wb_word;
+    // Index metadata is narrower than a word; charge proportionally.
+    let index = counters.index_reads as f64 * wb_word * (cfg.index_bits as f64 / cfg.word_bits as f64);
+    let ib = counters.ib_reads as f64 * ib_word;
+    let ob = counters.ob_writes as f64 * ib_word;
+    let ab = counters.ab_accesses as f64 * ab_word;
+    let xbar = counters.crossbar_words as f64 * table.crossbar_pj;
+    let ccu = counters.ccu_ops as f64 * table.ccu_pj;
+    let ppu = counters.ppu_ops as f64 * table.ppu_pj;
+    EnergyBreakdown {
+        compute_pj: mul + add,
+        memory_pj: wb + ib + ob + ab + index,
+        others_pj: xbar + ccu + ppu,
+        dram_pj: counters.dram_bits as f64 * table.dram_pj_per_bit,
+        mul_array_pj: mul + add,
+        ib_ob_pj: ib + ob,
+        wb_pj: wb + index,
+        ab_pj: ab,
+        crossbar_pj: xbar,
+        ccu_pj: ccu,
+        ppu_pj: ppu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mult_to_add_ratio_matches_horowitz() {
+        let t = EnergyTable::horowitz_45nm();
+        let ratio = t.mult_pj / t.add_pj;
+        assert!((10.0..=32.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn sram_energy_grows_with_capacity() {
+        let t = EnergyTable::default();
+        assert!(t.sram_pj(16 * 1024) > t.sram_pj(8 * 1024));
+        assert!(t.sram_pj(8 * 1024) > 0.0);
+    }
+
+    #[test]
+    fn breakdown_partitions_counters() {
+        let cfg = ArchConfig::paper();
+        let t = EnergyTable::default();
+        let c = EnergyCounters {
+            mults: 1000,
+            adds: 2000,
+            wb_reads: 500,
+            ib_reads: 400,
+            ab_accesses: 4000,
+            ob_writes: 100,
+            crossbar_words: 2000,
+            ccu_ops: 1000,
+            ppu_ops: 100,
+            index_reads: 0,
+            dram_bits: 1_000_000,
+        };
+        let e = energy_of(&c, &cfg, &t);
+        assert!(e.compute_pj > 0.0 && e.memory_pj > 0.0 && e.others_pj > 0.0);
+        // Component view must sum to the three-way view (on-chip).
+        let by_component = e.mul_array_pj + e.ib_ob_pj + e.wb_pj + e.ab_pj + e.crossbar_pj
+            + e.ccu_pj
+            + e.ppu_pj;
+        assert!((by_component - e.on_chip_pj()).abs() < 1e-6);
+        assert!((e.dram_pj - 20.0e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyCounters {
+            mults: 1,
+            ..Default::default()
+        };
+        let b = EnergyCounters {
+            mults: 2,
+            dram_bits: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.mults, 3);
+        assert_eq!(a.dram_bits, 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Result export: JSON (full fidelity, via serde) and CSV (per-layer rows
+//! for external plotting).
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::report::RunStats;
+
+/// Serializes a set of runs to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns an error if serialization fails (practically impossible for
+/// these types).
+pub fn to_json(runs: &[RunStats]) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(runs)
+}
+
+/// Writes runs as JSON to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_json(runs: &[RunStats], path: &Path) -> std::io::Result<()> {
+    let json = to_json(runs).map_err(std::io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Renders per-layer results as CSV with one row per (run, layer).
+pub fn to_csv(runs: &[RunStats]) -> String {
+    let mut out = String::from(
+        "accelerator,model,layer,compute_cycles,dram_time_s,time_s,effective_mults,\
+         compute_pj,memory_pj,others_pj,dram_pj\n",
+    );
+    for run in runs {
+        for l in &run.layers {
+            out.push_str(&format!(
+                "{},{},{},{},{:.9},{:.9},{},{:.3},{:.3},{:.3},{:.3}\n",
+                run.accelerator,
+                run.model,
+                l.name,
+                l.compute_cycles,
+                l.dram_time_s,
+                l.time_s,
+                l.effective_mults,
+                l.energy.compute_pj,
+                l.energy.memory_pj,
+                l.energy.others_pj,
+                l.energy.dram_pj,
+            ));
+        }
+    }
+    out
+}
+
+/// Writes runs as CSV to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_csv(runs: &[RunStats], path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_csv(runs).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CartesianAccelerator, Runner};
+    use cscnn_models::catalog;
+
+    fn sample_runs() -> Vec<RunStats> {
+        let runner = Runner::new(1);
+        vec![runner.run_model(&CartesianAccelerator::cscnn(), &catalog::lenet5())]
+    }
+
+    #[test]
+    fn json_round_trips_key_fields() {
+        let runs = sample_runs();
+        let json = to_json(&runs).expect("serializable");
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(parsed[0]["accelerator"], "CSCNN");
+        assert_eq!(parsed[0]["model"], "LeNet-5");
+        assert_eq!(
+            parsed[0]["layers"].as_array().expect("layers").len(),
+            runs[0].layers.len()
+        );
+        assert!(parsed[0]["layers"][0]["compute_cycles"].as_u64().expect("cycles") > 0);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_layer_plus_header() {
+        let runs = sample_runs();
+        let csv = to_csv(&runs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + runs[0].layers.len());
+        assert!(lines[0].starts_with("accelerator,model,layer"));
+        assert!(lines[1].starts_with("CSCNN,LeNet-5,C1,"));
+    }
+
+    #[test]
+    fn files_write_and_read_back() {
+        let dir = std::env::temp_dir().join("cscnn_export_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let runs = sample_runs();
+        let jpath = dir.join("runs.json");
+        let cpath = dir.join("runs.csv");
+        write_json(&runs, &jpath).expect("write json");
+        write_csv(&runs, &cpath).expect("write csv");
+        assert!(std::fs::read_to_string(&jpath).expect("read").contains("CSCNN"));
+        assert!(std::fs::read_to_string(&cpath).expect("read").contains("LeNet-5"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

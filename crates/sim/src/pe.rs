@@ -1,0 +1,229 @@
+//! Cartesian-product PE cycle model (paper §III-B, Fig. 5/6).
+//!
+//! A PE holds a `Px × Py` multiplier array. Each round it fetches a vector
+//! of `Px` non-zero weights and `Py` non-zero activations of one input
+//! channel and computes their full Cartesian product. Per input channel the
+//! PE therefore spends `⌈nnzW/Px⌉ · ⌈nnzA/Py⌉` rounds — the `⌈·⌉`s are the
+//! *intra-PE fragmentation* the paper discusses — scaled by the
+//! accumulator-contention stall factor from [`crate::crossbar`].
+//!
+//! With `dual = true` (CSCNN) each product is additionally scattered, via
+//! the second crossbar, into the second accumulator buffer at the dual
+//! coordinate (Eq. 4): same rounds, one extra add + AB access per product.
+//! Products of the self-dual central weight receive *nil* dual coordinates
+//! and skip the extra work.
+
+use crate::energy::EnergyCounters;
+
+/// Per-PE simulation result.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PeResult {
+    /// Cycles spent (rounds × stall factor + drain).
+    pub cycles: u64,
+    /// Event counts for the energy model.
+    pub counters: EnergyCounters,
+}
+
+/// Cartesian-product PE parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CartesianPe {
+    /// Weight-vector width.
+    pub px: usize,
+    /// Activation-vector width.
+    pub py: usize,
+    /// Sustained cycles per round (≥ 1), from [`crate::crossbar`].
+    pub stall_factor: f64,
+    /// CSCNN multiplication reuse active for this layer.
+    pub dual: bool,
+    /// Fraction of products stemming from the self-dual central weight
+    /// (`1/⌈R·S/2⌉` for odd kernels, 0 for even); they skip the dual
+    /// accumulation.
+    pub self_dual_frac: f64,
+}
+
+/// Pipeline overhead per processed input channel: the front end swaps to
+/// the next channel's weight/activation fibers (pointer chase + first
+/// vector fill). Costly for deep networks with many low-work channels —
+/// one of the structural reasons SCNN's planar tiling loses on late
+/// ResNet/VGG stages.
+pub const CHANNEL_SETUP_CYCLES: f64 = 2.0;
+
+impl CartesianPe {
+    /// Simulates a convolutional assignment: `channels` holds, per input
+    /// channel, the non-zero stored-weight count across this PE's filters
+    /// and the non-zero activation count in this PE's tile. `outputs` is
+    /// the number of output elements the PE produces (drain + post-process).
+    ///
+    /// Halo exchange is accounted separately via
+    /// [`CartesianPe::halo_exchange`].
+    pub fn run_conv(&self, channels: &[(u64, u64)], outputs: u64) -> PeResult {
+        let mut cycles_f = 0.0f64;
+        let mut c = EnergyCounters::default();
+        let px = self.px as u64;
+        let py = self.py as u64;
+        for &(w, a) in channels {
+            if w == 0 || a == 0 {
+                continue;
+            }
+            cycles_f += CHANNEL_SETUP_CYCLES;
+            let rounds = w.div_ceil(px) * a.div_ceil(py);
+            cycles_f += rounds as f64 * self.stall_factor;
+            let products = w * a;
+            let dual_ops = if self.dual {
+                (products as f64 * (1.0 - self.self_dual_frac)).round() as u64
+            } else {
+                0
+            };
+            c.mults += products;
+            c.adds += products + dual_ops;
+            // One banked read-modify-write per accumulation.
+            c.ab_accesses += products + dual_ops;
+            c.crossbar_words += products + dual_ops;
+            c.ccu_ops += products + dual_ops;
+            // Input-stationary order (§III-B): the activation vector is held
+            // while all weight vectors stream past it.
+            c.wb_reads += rounds * px;
+            c.index_reads += rounds * px;
+            c.ib_reads += a.div_ceil(py) * py;
+        }
+        // Drain: accumulator contents flow through the PPU into the OB; the
+        // CSCNN PPU merges both accumulator buffers with the standing
+        // partial sums (§III-B "resolve data hazard").
+        let drain_ops: u64 = if self.dual { 3 } else { 1 };
+        c.ob_writes += outputs;
+        c.ppu_ops += outputs * drain_ops;
+        c.ab_accesses += outputs * drain_ops;
+        cycles_f += outputs as f64 / (px * py) as f64;
+        PeResult {
+            cycles: cycles_f.ceil() as u64,
+            counters: c,
+        }
+    }
+
+    /// Accounts for halo-value exchange with neighbour PEs (§III-A): each
+    /// incomplete halo partial sum is read from the accumulator, sent
+    /// through the PPU to the neighbour, and merged there. Costs one PPU
+    /// operation on each side plus drain bandwidth.
+    pub fn halo_exchange(&self, halo_outputs: u64) -> PeResult {
+        let mut c = EnergyCounters::default();
+        c.ppu_ops += 2 * halo_outputs; // send + merge
+        c.ab_accesses += 2 * halo_outputs; // read here, accumulate there
+        PeResult {
+            cycles: halo_outputs.div_ceil((self.px * self.py) as u64),
+            counters: c,
+        }
+    }
+
+    /// Simulates a fully-connected assignment. The Cartesian product
+    /// degenerates for FC layers (each weight meets exactly one activation,
+    /// §III-E): only the weight-vector dimension of the array is useful, so
+    /// throughput collapses to `Px` MACs/cycle, with zero activations
+    /// skipped via the compressed activation stream.
+    pub fn run_fc(&self, weight_nnz: u64, act_density: f64, outputs: u64) -> PeResult {
+        let products = (weight_nnz as f64 * act_density).round() as u64;
+        let px = self.px as u64;
+        let rounds = products.div_ceil(px);
+        let mut c = EnergyCounters::default();
+        c.mults += products;
+        c.adds += products;
+        c.ab_accesses += products + outputs;
+        c.crossbar_words += products;
+        c.ccu_ops += products;
+        c.wb_reads += rounds * px;
+        c.index_reads += rounds * px;
+        c.ib_reads += products;
+        c.ob_writes += outputs;
+        c.ppu_ops += outputs;
+        PeResult {
+            cycles: (rounds as f64 * self.stall_factor).ceil() as u64 + outputs / (px * self.py as u64),
+            counters: c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pe(dual: bool) -> CartesianPe {
+        CartesianPe {
+            px: 4,
+            py: 4,
+            stall_factor: 1.0,
+            dual,
+            self_dual_frac: 0.2,
+        }
+    }
+
+    #[test]
+    fn exact_vectors_need_no_fragmentation() {
+        let r = pe(false).run_conv(&[(8, 8)], 0);
+        // 2 weight vectors × 2 act vectors = 4 rounds, + channel setup.
+        assert_eq!(r.cycles, 4 + CHANNEL_SETUP_CYCLES as u64);
+        assert_eq!(r.counters.mults, 64);
+        assert_eq!(r.counters.adds, 64);
+    }
+
+    #[test]
+    fn fragmentation_rounds_up() {
+        let r = pe(false).run_conv(&[(5, 5)], 0);
+        // ⌈5/4⌉ = 2 each way → 4 rounds for 25 products (39% utilization),
+        // + channel setup.
+        assert_eq!(r.cycles, 4 + CHANNEL_SETUP_CYCLES as u64);
+        assert_eq!(r.counters.mults, 25);
+    }
+
+    #[test]
+    fn dual_mode_doubles_accumulations_not_mults() {
+        let single = pe(false).run_conv(&[(10, 12)], 0);
+        let dual = pe(true).run_conv(&[(10, 12)], 0);
+        assert_eq!(single.cycles, dual.cycles, "same rounds");
+        assert_eq!(single.counters.mults, dual.counters.mults);
+        // 120 products; 80% get a dual accumulation → 96 extra adds.
+        assert_eq!(dual.counters.adds, 120 + 96);
+        assert!(dual.counters.ab_accesses > single.counters.ab_accesses);
+    }
+
+    #[test]
+    fn empty_channels_cost_nothing() {
+        let r = pe(true).run_conv(&[(0, 100), (100, 0)], 0);
+        assert_eq!(r.counters.mults, 0);
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn stall_factor_scales_cycles() {
+        let mut p = pe(false);
+        p.stall_factor = 1.5;
+        let r = p.run_conv(&[(16, 16)], 0);
+        // 16 rounds × 1.5 + channel setup.
+        assert_eq!(r.cycles, 24 + CHANNEL_SETUP_CYCLES as u64);
+    }
+
+    #[test]
+    fn halo_exchange_charges_both_sides() {
+        let r = pe(false).halo_exchange(64);
+        assert_eq!(r.counters.ppu_ops, 128, "send + merge");
+        assert_eq!(r.counters.ab_accesses, 128);
+        assert_eq!(r.cycles, 4);
+        let none = pe(false).halo_exchange(0);
+        assert_eq!(none.cycles, 0);
+    }
+
+    #[test]
+    fn fc_throughput_is_px_per_cycle() {
+        let r = pe(false).run_fc(400, 1.0, 0);
+        assert_eq!(r.cycles, 100);
+        assert_eq!(r.counters.mults, 400);
+        let sparse = pe(false).run_fc(400, 0.5, 0);
+        assert_eq!(sparse.counters.mults, 200);
+    }
+
+    #[test]
+    fn drain_accounts_for_outputs() {
+        let with_out = pe(false).run_conv(&[(8, 8)], 160);
+        let without = pe(false).run_conv(&[(8, 8)], 0);
+        assert_eq!(with_out.cycles - without.cycles, 10);
+        assert_eq!(with_out.counters.ob_writes, 160);
+    }
+}

@@ -1,0 +1,216 @@
+//! Whole-network and suite simulation driver.
+
+use cscnn_models::{ModelCompression, ModelDesc};
+
+use crate::dram::DramConfig;
+use crate::energy::EnergyTable;
+use crate::interface::{Accelerator, LayerContext};
+use crate::report::RunStats;
+use crate::workload::LayerWorkload;
+
+/// Drives layer-by-layer simulation of whole networks across accelerators.
+///
+/// # Example
+///
+/// ```
+/// use cscnn_sim::{CartesianAccelerator, Runner};
+/// use cscnn_models::catalog;
+///
+/// let runner = Runner::new(42);
+/// let stats = runner.run_model(&CartesianAccelerator::cscnn(), &catalog::lenet5());
+/// assert_eq!(stats.layers.len(), catalog::lenet5().layers.len());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Runner {
+    dram: DramConfig,
+    energy: EnergyTable,
+    seed: u64,
+}
+
+impl Runner {
+    /// Creates a runner with default DRAM/energy models and a workload seed.
+    pub fn new(seed: u64) -> Self {
+        Runner {
+            dram: DramConfig::default(),
+            energy: EnergyTable::default(),
+            seed,
+        }
+    }
+
+    /// Overrides the DRAM model.
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Simulates one model on one accelerator, layer by layer.
+    ///
+    /// Workload synthesis uses the accelerator's compression scheme
+    /// (Table IV): CSCNN runs the CSCNN+Pruning model, sparse baselines run
+    /// the Deep-Compression model, DCNN runs the dense model. Layer inputs
+    /// are considered on-chip when the previous layer's output fit in the
+    /// global buffer.
+    pub fn run_model(&self, acc: &dyn Accelerator, model: &ModelDesc) -> RunStats {
+        let mc = ModelCompression::new(model.clone(), acc.scheme());
+        self.run_model_with_profile(acc, model, &mc.profile)
+    }
+
+    /// Like [`Runner::run_model`], but with an explicit sparsity profile —
+    /// e.g. one *measured* from a trained network's activations rather
+    /// than calibrated from published targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's length disagrees with the model's.
+    pub fn run_model_with_profile(
+        &self,
+        acc: &dyn Accelerator,
+        model: &ModelDesc,
+        profile: &cscnn_models::SparsityProfile,
+    ) -> RunStats {
+        assert_eq!(
+            profile.weight_density.len(),
+            model.layers.len(),
+            "profile/model length mismatch"
+        );
+        let cfg = acc.config();
+        let centro = acc.scheme().uses_centrosymmetric();
+        let mut stats = RunStats {
+            accelerator: acc.name().to_string(),
+            model: model.name.clone(),
+            ..Default::default()
+        };
+        let mut input_on_chip = false;
+        for (i, layer) in model.layers.iter().enumerate() {
+            let wl = LayerWorkload::synthesize(
+                layer,
+                profile.weight_density[i],
+                profile.activation_density[i],
+                centro,
+                self.seed ^ ((i as u64) << 20) ^ model_hash(&model.name),
+            );
+            let out_bytes = layer.output_activations() as usize * cfg.word_bits / 8;
+            let output_fits = out_bytes <= cfg.glb_bytes;
+            let ctx = LayerContext {
+                cfg: &cfg,
+                dram: &self.dram,
+                energy: &self.energy,
+                workload: &wl,
+                input_on_chip,
+                output_fits_on_chip: output_fits,
+            };
+            stats.layers.push(acc.simulate_layer(&ctx));
+            input_on_chip = output_fits;
+        }
+        stats
+    }
+
+    /// Simulates every (accelerator, model) pair, parallelized across
+    /// models with OS threads. Results are ordered `[model][accelerator]`.
+    pub fn run_suite(
+        &self,
+        accelerators: &[Box<dyn Accelerator>],
+        models: &[ModelDesc],
+    ) -> Vec<Vec<RunStats>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = models
+                .iter()
+                .map(|model| {
+                    scope.spawn(move || {
+                        accelerators
+                            .iter()
+                            .map(|acc| self.run_model(acc.as_ref(), model))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation thread panicked"))
+                .collect()
+        })
+    }
+}
+
+fn model_hash(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines;
+    use crate::CartesianAccelerator;
+    use cscnn_models::catalog;
+
+    #[test]
+    fn run_is_deterministic() {
+        let runner = Runner::new(1);
+        let a = runner.run_model(&CartesianAccelerator::cscnn(), &catalog::lenet5());
+        let b = runner.run_model(&CartesianAccelerator::cscnn(), &catalog::lenet5());
+        assert_eq!(a.total_cycles(), b.total_cycles());
+        assert_eq!(a.total_on_chip_pj(), b.total_on_chip_pj());
+    }
+
+    #[test]
+    fn cscnn_beats_dcnn_and_scnn_on_lenet() {
+        let runner = Runner::new(2);
+        let model = catalog::lenet5();
+        let dcnn = runner.run_model(&baselines::dcnn(), &model);
+        let scnn = runner.run_model(&CartesianAccelerator::scnn(), &model);
+        let cscnn = runner.run_model(&CartesianAccelerator::cscnn(), &model);
+        assert!(cscnn.speedup_over(&dcnn) > 1.0, "vs DCNN");
+        assert!(cscnn.speedup_over(&scnn) > 1.0, "vs SCNN");
+    }
+
+    #[test]
+    fn parallel_suite_equals_sequential_runs() {
+        // The threaded suite must produce bit-identical results to
+        // sequential simulation (no shared mutable state, no ordering
+        // effects).
+        let runner = Runner::new(9);
+        let accs = baselines::evaluation_accelerators();
+        let models = vec![catalog::lenet5(), catalog::convnet()];
+        let parallel = runner.run_suite(&accs, &models);
+        for (mi, model) in models.iter().enumerate() {
+            for (ai, acc) in accs.iter().enumerate() {
+                let seq = runner.run_model(acc.as_ref(), model);
+                assert_eq!(seq.total_cycles(), parallel[mi][ai].total_cycles());
+                assert_eq!(
+                    seq.total_on_chip_pj(),
+                    parallel[mi][ai].total_on_chip_pj()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_dram_model_propagates() {
+        let slow = crate::dram::DramConfig {
+            peak_bytes_per_s: 1e9, // 12.8x slower than default
+            ..Default::default()
+        };
+        let fast_runner = Runner::new(10);
+        let slow_runner = Runner::new(10).with_dram(slow);
+        let model = catalog::alexnet();
+        let acc = CartesianAccelerator::cscnn();
+        let fast = fast_runner.run_model(&acc, &model);
+        let slow = slow_runner.run_model(&acc, &model);
+        assert!(slow.total_time_s() > fast.total_time_s());
+        // Compute cycles are DRAM-independent.
+        assert_eq!(slow.total_cycles(), fast.total_cycles());
+    }
+
+    #[test]
+    fn suite_shape_is_models_by_accelerators() {
+        let runner = Runner::new(3);
+        let accs = baselines::evaluation_accelerators();
+        let models = vec![catalog::lenet5(), catalog::convnet()];
+        let results = runner.run_suite(&accs, &models);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].len(), accs.len());
+        assert_eq!(results[0][0].accelerator, "DCNN");
+        assert_eq!(results[1][8].accelerator, "CSCNN");
+    }
+}

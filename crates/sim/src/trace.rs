@@ -1,0 +1,113 @@
+//! Chrome-tracing export: renders simulated runs as a `chrome://tracing` /
+//! Perfetto-compatible timeline, one lane per accelerator, one slice per
+//! layer (with compute vs DRAM attribution in the slice arguments).
+
+use serde::Serialize;
+
+use crate::report::RunStats;
+
+/// One Chrome trace event (the "X" complete-event form).
+#[derive(Serialize)]
+struct TraceEvent<'a> {
+    name: &'a str,
+    ph: &'static str,
+    /// Timestamp in microseconds.
+    ts: f64,
+    /// Duration in microseconds.
+    dur: f64,
+    pid: u32,
+    tid: u32,
+    args: TraceArgs,
+}
+
+#[derive(Serialize)]
+struct TraceArgs {
+    compute_cycles: u64,
+    dram_time_us: f64,
+    effective_mults: u64,
+    bound: &'static str,
+}
+
+/// Renders runs as Chrome trace JSON. Each run occupies its own thread
+/// lane (`tid`), with layers laid out back-to-back in simulated time.
+///
+/// # Errors
+///
+/// Returns a serialization error (practically impossible).
+pub fn to_chrome_trace(runs: &[RunStats]) -> Result<String, serde_json::Error> {
+    let mut events = Vec::new();
+    for (tid, run) in runs.iter().enumerate() {
+        let mut cursor_us = 0.0f64;
+        for layer in &run.layers {
+            let dur = layer.time_s * 1e6;
+            events.push(TraceEvent {
+                name: &layer.name,
+                ph: "X",
+                ts: cursor_us,
+                dur,
+                pid: 0,
+                tid: tid as u32,
+                args: TraceArgs {
+                    compute_cycles: layer.compute_cycles,
+                    dram_time_us: layer.dram_time_s * 1e6,
+                    effective_mults: layer.effective_mults,
+                    bound: if layer.dram_time_s * 1e6 >= dur {
+                        "memory"
+                    } else {
+                        "compute"
+                    },
+                },
+            });
+            cursor_us += dur;
+        }
+    }
+    serde_json::to_string(&events)
+}
+
+/// Writes the Chrome trace to `path` (open in `chrome://tracing` or
+/// Perfetto).
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_chrome_trace(runs: &[RunStats], path: &std::path::Path) -> std::io::Result<()> {
+    let json = to_chrome_trace(runs).map_err(std::io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CartesianAccelerator, Runner};
+    use cscnn_models::catalog;
+
+    #[test]
+    fn trace_has_one_slice_per_layer_in_time_order() {
+        let runner = Runner::new(1);
+        let runs = vec![
+            runner.run_model(&CartesianAccelerator::scnn(), &catalog::lenet5()),
+            runner.run_model(&CartesianAccelerator::cscnn(), &catalog::lenet5()),
+        ];
+        let json = to_chrome_trace(&runs).expect("serializable");
+        let events: serde_json::Value = serde_json::from_str(&json).expect("valid");
+        let arr = events.as_array().expect("array");
+        assert_eq!(arr.len(), 2 * runs[0].layers.len());
+        // Slices within one lane are back-to-back and non-overlapping.
+        let lane0: Vec<&serde_json::Value> =
+            arr.iter().filter(|e| e["tid"] == 0).collect();
+        let mut cursor = 0.0;
+        for e in lane0 {
+            let ts = e["ts"].as_f64().expect("ts");
+            let dur = e["dur"].as_f64().expect("dur");
+            assert!((ts - cursor).abs() < 1e-9, "back-to-back layout");
+            assert!(dur > 0.0);
+            cursor = ts + dur;
+        }
+        // FC layers are flagged memory-bound.
+        let fc = arr
+            .iter()
+            .find(|e| e["name"] == "F5")
+            .expect("F5 present");
+        assert_eq!(fc["args"]["bound"], "memory");
+    }
+}

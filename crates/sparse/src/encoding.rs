@@ -1,0 +1,186 @@
+//! Zero-run-length compressed vectors (the SCNN/CSCNN storage format).
+
+/// A compressed sparse vector storing non-zero values and the count of zeros
+/// preceding each one.
+///
+/// SCNN (and therefore CSCNN) encodes weight and activation fibers as a
+/// stream of `(zero_run, value)` pairs where `zero_run` is a small fixed-width
+/// field. When an actual run of zeros exceeds the field's maximum, an explicit
+/// zero *value* is inserted as a "zero placeholder" and the run continues —
+/// exactly the overflow mechanism described in the SCNN paper. `max_run`
+/// parameterizes the field width (`15` models a 4-bit index field).
+///
+/// # Example
+///
+/// ```
+/// use cscnn_sparse::RleVector;
+///
+/// let rle = RleVector::encode(&[0.0; 20], 15);
+/// // Trailing zeros are implicit: an all-zero vector stores nothing.
+/// assert_eq!(rle.nnz(), 0);
+/// assert_eq!(rle.stored_entries(), 0);
+/// assert_eq!(rle.decode(), vec![0.0; 20]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RleVector {
+    /// `(zeros_before, value)` pairs. `value` may be `0.0` only for run
+    /// overflow placeholders.
+    entries: Vec<(u8, f32)>,
+    len: usize,
+    max_run: u8,
+}
+
+impl RleVector {
+    /// Encodes a dense slice with the given maximum zero-run field value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_run == 0`.
+    pub fn encode(dense: &[f32], max_run: u8) -> Self {
+        assert!(max_run > 0, "max_run must be positive");
+        let mut entries = Vec::new();
+        let mut run: usize = 0;
+        for &v in dense {
+            if v == 0.0 {
+                run += 1;
+                continue;
+            }
+            while run > max_run as usize {
+                entries.push((max_run, 0.0));
+                run -= max_run as usize;
+                // The placeholder itself occupies one element position? No:
+                // a placeholder is a zero *value*, so it consumes one zero
+                // from the run.
+                run = run.saturating_sub(1);
+            }
+            entries.push((run as u8, v));
+            run = 0;
+        }
+        // Trailing zeros need no entries: the logical length is stored, so
+        // decode() recovers them for free (as real hardware does — the fiber
+        // length is known from the layer shape).
+        RleVector {
+            entries,
+            len: dense.len(),
+            max_run,
+        }
+    }
+
+    /// Number of genuinely non-zero values.
+    pub fn nnz(&self) -> usize {
+        self.entries.iter().filter(|(_, v)| *v != 0.0).count()
+    }
+
+    /// Number of stored `(run, value)` entries, including overflow
+    /// placeholders. This is what determines storage cost and the number of
+    /// values streamed through a sparse PE's front end.
+    pub fn stored_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Logical (dense) length of the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the logical vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fraction of non-zero elements.
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.len as f64
+        }
+    }
+
+    /// Storage size in bits given a value width and the run-field width
+    /// implied by `max_run`.
+    pub fn storage_bits(&self, value_bits: usize) -> usize {
+        let run_bits = 8 - self.max_run.leading_zeros() as usize;
+        self.entries.len() * (value_bits + run_bits)
+    }
+
+    /// Iterates over `(dense_index, value)` for all non-zero values.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let mut pos = 0usize;
+        self.entries.iter().filter_map(move |&(run, v)| {
+            pos += run as usize;
+            let idx = pos;
+            pos += 1;
+            (v != 0.0).then_some((idx, v))
+        })
+    }
+
+    /// Reconstructs the dense vector.
+    pub fn decode(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len];
+        for (idx, v) in self.iter() {
+            out[idx] = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_mixed_vector() {
+        let dense = vec![0.0, 1.5, 0.0, 0.0, -2.0, 3.0, 0.0];
+        let rle = RleVector::encode(&dense, 15);
+        assert_eq!(rle.decode(), dense);
+        assert_eq!(rle.nnz(), 3);
+        assert!((rle.density() - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_inserts_placeholders() {
+        let mut dense = vec![0.0f32; 40];
+        dense[39] = 9.0;
+        let rle = RleVector::encode(&dense, 15);
+        assert_eq!(rle.nnz(), 1);
+        // 39 zeros with a 4-bit field need ⌈…⌉ placeholders.
+        assert!(rle.stored_entries() > 1);
+        assert_eq!(rle.decode(), dense);
+    }
+
+    #[test]
+    fn all_zero_round_trip() {
+        let dense = vec![0.0f32; 33];
+        let rle = RleVector::encode(&dense, 15);
+        assert_eq!(rle.nnz(), 0);
+        assert_eq!(rle.stored_entries(), 0);
+        assert_eq!(rle.decode(), dense);
+    }
+
+    #[test]
+    fn iter_yields_indices_in_order() {
+        let dense = vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0];
+        let rle = RleVector::encode(&dense, 3);
+        let got: Vec<_> = rle.iter().collect();
+        assert_eq!(got, vec![(0, 1.0), (2, 2.0), (5, 3.0)]);
+    }
+
+    #[test]
+    fn storage_bits_accounts_for_run_field() {
+        let dense = vec![1.0, 2.0, 3.0];
+        let rle = RleVector::encode(&dense, 15);
+        // 3 entries × (16 value bits + 4 run bits).
+        assert_eq!(rle.storage_bits(16), 60);
+    }
+
+    #[test]
+    fn small_run_field_still_round_trips() {
+        for gap in 0..20 {
+            let mut dense = vec![0.0f32; gap + 1];
+            dense[gap] = 1.0;
+            let rle = RleVector::encode(&dense, 3);
+            assert_eq!(rle.decode(), dense, "gap={gap}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # cscnn-sparse
+//!
+//! Compressed-sparse data structures shared by the training stack and the
+//! accelerator simulator:
+//!
+//! - [`RleVector`] — the zero-run-length encoding SCNN and CSCNN use for
+//!   weights and activations (non-zero values plus the number of zeros
+//!   between adjacent non-zeros, with bounded run fields).
+//! - [`SparseSlice`] — a coordinate-list view of one 2-D tensor slice
+//!   (an `R×S` filter slice or a `W×H` activation tile).
+//! - [`centro`] — centrosymmetric filter arithmetic: the dual-coordinate map
+//!   `(u,v) ↔ (R-1-u, S-1-v)`, the Eq. 5 mean projection, and the
+//!   half-storage compressed representation that gives CSCNN its ~2×
+//!   weight-storage reduction without index overhead.
+//! - [`sample`] — seeded random sparse tensor synthesis used to build
+//!   simulator workloads at profiled densities.
+//!
+//! # Example
+//!
+//! ```
+//! use cscnn_sparse::RleVector;
+//!
+//! let dense = [0.0, 0.0, 3.0, 0.0, 5.0];
+//! let rle = RleVector::encode(&dense, 15);
+//! assert_eq!(rle.nnz(), 2);
+//! assert_eq!(rle.decode(), dense);
+//! ```
+
+pub mod centro;
+mod encoding;
+pub mod formats;
+pub mod sample;
+mod slice;
+
+pub use encoding::RleVector;
+pub use slice::SparseSlice;

@@ -1,0 +1,155 @@
+//! Coordinate-list view of a 2-D tensor slice.
+
+/// A sparse 2-D slice (filter slice `R×S` or activation tile `H×W`) stored as
+/// a coordinate list in row-major order.
+///
+/// # Example
+///
+/// ```
+/// use cscnn_sparse::SparseSlice;
+///
+/// let s = SparseSlice::from_dense(&[0.0, 2.0, 0.0, 4.0], 2, 2);
+/// assert_eq!(s.nnz(), 2);
+/// assert_eq!(s.get(0, 1), 2.0);
+/// assert_eq!(s.get(1, 0), 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseSlice {
+    rows: usize,
+    cols: usize,
+    /// `(row, col, value)` with `value != 0`, sorted row-major.
+    entries: Vec<(u16, u16, f32)>,
+}
+
+impl SparseSlice {
+    /// Builds from a dense row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense.len() != rows * cols` or an extent exceeds `u16::MAX`.
+    pub fn from_dense(dense: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(dense.len(), rows * cols, "dense buffer length mismatch");
+        assert!(rows <= u16::MAX as usize && cols <= u16::MAX as usize);
+        let mut entries = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense[r * cols + c];
+                if v != 0.0 {
+                    entries.push((r as u16, c as u16, v));
+                }
+            }
+        }
+        SparseSlice { rows, cols, entries }
+    }
+
+    /// Builds directly from sorted coordinate entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries are out of range, contain zeros, or are not sorted
+    /// strictly row-major.
+    pub fn from_entries(entries: Vec<(u16, u16, f32)>, rows: usize, cols: usize) -> Self {
+        let mut prev: Option<(u16, u16)> = None;
+        for &(r, c, v) in &entries {
+            assert!((r as usize) < rows && (c as usize) < cols, "entry out of range");
+            assert!(v != 0.0, "explicit zero entry");
+            if let Some(p) = prev {
+                assert!((r, c) > p, "entries not strictly sorted");
+            }
+            prev = Some((r, c));
+        }
+        SparseSlice { rows, cols, entries }
+    }
+
+    /// Row extent.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column extent.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Logical element count (`rows * cols`).
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the slice has zero logical elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of non-zero elements.
+    pub fn density(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.len() as f64
+        }
+    }
+
+    /// Value at `(row, col)`, zero if absent.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.entries
+            .binary_search_by_key(&(row as u16, col as u16), |&(r, c, _)| (r, c))
+            .map(|i| self.entries[i].2)
+            .unwrap_or(0.0)
+    }
+
+    /// Iterates over non-zero `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Reconstructs the dense row-major buffer.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len()];
+        for &(r, c, v) in &self.entries {
+            out[r as usize * self.cols + c as usize] = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = vec![0.0, 1.0, 0.0, 0.0, -2.0, 0.0];
+        let s = SparseSlice::from_dense(&dense, 2, 3);
+        assert_eq!(s.to_dense(), dense);
+        assert_eq!(s.nnz(), 2);
+        assert!((s.density() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_returns_zero_for_absent() {
+        let s = SparseSlice::from_dense(&[1.0, 0.0, 0.0, 0.0], 2, 2);
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn iter_is_row_major() {
+        let s = SparseSlice::from_dense(&[0.0, 1.0, 2.0, 0.0, 0.0, 3.0], 3, 2);
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![(0, 1, 1.0), (1, 0, 2.0), (2, 1, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly sorted")]
+    fn from_entries_rejects_unsorted() {
+        let _ = SparseSlice::from_entries(vec![(1, 0, 1.0), (0, 0, 2.0)], 2, 2);
+    }
+}

@@ -1,0 +1,396 @@
+//! 2-D convolution, forward and backward, via im2col.
+//!
+//! Tensor layouts follow the paper's notation (§II-A): inputs are
+//! `[N, C, H, W]`, filters are `[K, C, R, S]`, outputs are `[N, K, H', W']`.
+
+use crate::{matmul, matmul_at, matmul_bt, Tensor};
+
+/// Static description of a convolution: filter geometry, stride and padding.
+///
+/// # Example
+///
+/// ```
+/// use cscnn_tensor::ConvSpec;
+///
+/// let spec = ConvSpec::new(3, 3).with_stride(1).with_padding(1);
+/// assert_eq!(spec.output_dim(32, 32), (32, 32)); // "same" convolution
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Filter height (`R` in the paper).
+    pub kernel_h: usize,
+    /// Filter width (`S` in the paper).
+    pub kernel_w: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on every spatial border.
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Creates a unit-stride, unpadded convolution spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either kernel extent is zero.
+    pub fn new(kernel_h: usize, kernel_w: usize) -> Self {
+        assert!(kernel_h > 0 && kernel_w > 0, "kernel extents must be positive");
+        ConvSpec {
+            kernel_h,
+            kernel_w,
+            stride: 1,
+            padding: 0,
+        }
+    }
+
+    /// Sets the stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the zero padding.
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Output spatial extent for an `(h, w)` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn output_dim(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        assert!(
+            ph >= self.kernel_h && pw >= self.kernel_w,
+            "input {h}x{w} (+pad {}) smaller than kernel {}x{}",
+            self.padding,
+            self.kernel_h,
+            self.kernel_w
+        );
+        (
+            (ph - self.kernel_h) / self.stride + 1,
+            (pw - self.kernel_w) / self.stride + 1,
+        )
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the layer input, `[N, C, H, W]`.
+    pub input: Tensor,
+    /// Gradient w.r.t. the filters, `[K, C, R, S]`.
+    pub weight: Tensor,
+    /// Gradient w.r.t. the bias, `[K]`.
+    pub bias: Tensor,
+}
+
+/// Lowers one batch item to a `[C·R·S, H'·W']` column matrix.
+fn im2col(input: &Tensor, n: usize, spec: &ConvSpec) -> Tensor {
+    let dims = input.shape().dims();
+    let (c, h, w) = (dims[1], dims[2], dims[3]);
+    let (oh, ow) = spec.output_dim(h, w);
+    let rows = c * spec.kernel_h * spec.kernel_w;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let src = input.as_slice();
+    let base = n * c * h * w;
+    let pad = spec.padding as isize;
+    for ci in 0..c {
+        for r in 0..spec.kernel_h {
+            for s in 0..spec.kernel_w {
+                let row = (ci * spec.kernel_h + r) * spec.kernel_w + s;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + r as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row = base + (ci * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + s as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] = src[src_row + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Scatter-adds a `[C·R·S, H'·W']` column-gradient matrix back into image space.
+fn col2im_add(col: &Tensor, grad: &mut Tensor, n: usize, spec: &ConvSpec) {
+    let dims = grad.shape().dims();
+    let (c, h, w) = (dims[1], dims[2], dims[3]);
+    let (oh, ow) = spec.output_dim(h, w);
+    let cols = oh * ow;
+    let src = col.as_slice();
+    let base = n * c * h * w;
+    let pad = spec.padding as isize;
+    let dst = grad.as_mut_slice();
+    for ci in 0..c {
+        for r in 0..spec.kernel_h {
+            for s in 0..spec.kernel_w {
+                let row = (ci * spec.kernel_h + r) * spec.kernel_w + s;
+                let src_row = &src[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + r as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = base + (ci * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + s as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[dst_row + ix as usize] += src_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// `input` is `[N, C, H, W]`, `weight` is `[K, C, R, S]`, `bias` is `[K]`;
+/// returns `[N, K, H', W']`.
+///
+/// # Panics
+///
+/// Panics if any shape is inconsistent with `spec`.
+///
+/// # Example
+///
+/// ```
+/// use cscnn_tensor::{conv2d, ConvSpec, Tensor};
+///
+/// let input = Tensor::full(&[1, 1, 3, 3], 1.0);
+/// let weight = Tensor::full(&[1, 1, 3, 3], 1.0);
+/// let bias = Tensor::zeros(&[1]);
+/// let out = conv2d(&input, &weight, &bias, &ConvSpec::new(3, 3));
+/// assert_eq!(out.as_slice(), &[9.0]);
+/// ```
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
+    let (n, c, h, w) = dims4(input, "conv2d input");
+    let (k, wc, wr, ws) = dims4(weight, "conv2d weight");
+    assert_eq!(c, wc, "channel mismatch: input C={c}, weight C={wc}");
+    assert_eq!(
+        (wr, ws),
+        (spec.kernel_h, spec.kernel_w),
+        "weight spatial dims disagree with spec"
+    );
+    assert_eq!(bias.len(), k, "bias length must equal K={k}");
+    let (oh, ow) = spec.output_dim(h, w);
+    let w_mat = weight.reshape(&[k, c * wr * ws]);
+    let mut out = Tensor::zeros(&[n, k, oh, ow]);
+    let bias_v = bias.as_slice();
+    for ni in 0..n {
+        let col = im2col(input, ni, spec);
+        let res = matmul(&w_mat, &col); // [K, oh*ow]
+        let dst = out.as_mut_slice();
+        let base = ni * k * oh * ow;
+        for ki in 0..k {
+            let src = &res.as_slice()[ki * oh * ow..(ki + 1) * oh * ow];
+            let b = bias_v[ki];
+            for (d, &s) in dst[base + ki * oh * ow..base + (ki + 1) * oh * ow]
+                .iter_mut()
+                .zip(src)
+            {
+                *d = s + b;
+            }
+        }
+    }
+    out
+}
+
+/// Backward 2-D convolution: gradients w.r.t. input, weight and bias.
+///
+/// `grad_out` must be `[N, K, H', W']` for the same `input`/`weight`/`spec`
+/// that produced the forward output.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &ConvSpec,
+) -> Conv2dGrads {
+    let (n, c, h, w) = dims4(input, "conv2d_backward input");
+    let (k, _, wr, ws) = dims4(weight, "conv2d_backward weight");
+    let (oh, ow) = spec.output_dim(h, w);
+    assert_eq!(
+        grad_out.shape().dims(),
+        &[n, k, oh, ow],
+        "grad_out shape mismatch"
+    );
+    let w_mat = weight.reshape(&[k, c * wr * ws]);
+    let mut d_input = Tensor::zeros(&[n, c, h, w]);
+    let mut d_weight = Tensor::zeros(&[k, c * wr * ws]);
+    let mut d_bias = Tensor::zeros(&[k]);
+    for ni in 0..n {
+        let col = im2col(input, ni, spec);
+        let go = Tensor::from_vec(
+            grad_out.as_slice()[ni * k * oh * ow..(ni + 1) * k * oh * ow].to_vec(),
+            &[k, oh * ow],
+        );
+        // dW += dOut · colᵀ
+        d_weight.axpy(1.0, &matmul_bt(&go, &col));
+        // dCol = Wᵀ · dOut, scattered back to image space.
+        let d_col = matmul_at(&w_mat, &go);
+        col2im_add(&d_col, &mut d_input, ni, spec);
+        // dBias += row sums of dOut.
+        for ki in 0..k {
+            let s: f32 = go.as_slice()[ki * oh * ow..(ki + 1) * oh * ow].iter().sum();
+            d_bias.as_mut_slice()[ki] += s;
+        }
+    }
+    Conv2dGrads {
+        input: d_input,
+        weight: d_weight.reshape(&[k, c, wr, ws]),
+        bias: d_bias,
+    }
+}
+
+fn dims4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {
+    assert_eq!(t.shape().rank(), 4, "{what} must be rank 4, got {}", t.shape());
+    let d = t.shape().dims();
+    (d[0], d[1], d[2], d[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(dims: &[usize], scale: f32) -> Tensor {
+        Tensor::from_fn(dims, |i| ((i as f32) * scale).sin())
+    }
+
+    /// Direct (loop-nest) convolution used as a reference.
+    fn conv_ref(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
+        let d = input.shape().dims();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let wd = weight.shape().dims();
+        let k = wd[0];
+        let (oh, ow) = spec.output_dim(h, w);
+        let mut out = Tensor::zeros(&[n, k, oh, ow]);
+        for ni in 0..n {
+            for ki in 0..k {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.at(&[ki]);
+                        for ci in 0..c {
+                            for r in 0..spec.kernel_h {
+                                for s in 0..spec.kernel_w {
+                                    let iy = (oy * spec.stride + r) as isize
+                                        - spec.padding as isize;
+                                    let ix = (ox * spec.stride + s) as isize
+                                        - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += input.at(&[ni, ci, iy as usize, ix as usize])
+                                        * weight.at(&[ki, ci, r, s]);
+                                }
+                            }
+                        }
+                        out.set(&[ni, ki, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_reference_padded_strided() {
+        for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 1), (2, 0)] {
+            let spec = ConvSpec::new(3, 3).with_stride(stride).with_padding(padding);
+            let input = seq(&[2, 3, 7, 8], 0.13);
+            let weight = seq(&[4, 3, 3, 3], 0.29);
+            let bias = seq(&[4], 0.7);
+            let got = conv2d(&input, &weight, &bias, &spec);
+            let want = conv_ref(&input, &weight, &bias, &spec);
+            assert_eq!(got.shape(), want.shape());
+            for (g, v) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((g - v).abs() < 1e-4, "stride={stride} pad={padding}");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let spec = ConvSpec::new(3, 3).with_padding(1);
+        let input = seq(&[1, 2, 5, 5], 0.17);
+        let weight = seq(&[3, 2, 3, 3], 0.31);
+        let bias = seq(&[3], 0.5);
+        // Loss = sum of outputs; dLoss/dOut = 1 everywhere.
+        let out = conv2d(&input, &weight, &bias, &spec);
+        let go = Tensor::full(out.shape().dims(), 1.0);
+        let grads = conv2d_backward(&input, &weight, &go, &spec);
+
+        let eps = 5e-3;
+        // Spot-check weight gradient entries with central differences.
+        for &idx in &[0usize, 7, 23, 53] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let lp = conv2d(&input, &wp, &bias, &spec).sum();
+            let lm = conv2d(&input, &wm, &bias, &spec).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grads.weight.as_slice()[idx];
+            assert!((fd - an).abs() < 3e-2, "weight[{idx}]: fd={fd} an={an}");
+        }
+        // Spot-check input gradient entries.
+        for &idx in &[0usize, 11, 31, 49] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let lp = conv2d(&ip, &weight, &bias, &spec).sum();
+            let lm = conv2d(&im, &weight, &bias, &spec).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grads.input.as_slice()[idx];
+            assert!((fd - an).abs() < 3e-2, "input[{idx}]: fd={fd} an={an}");
+        }
+        // Bias gradient of a sum loss is the number of output pixels per k.
+        let per_k = out.len() as f32 / 3.0;
+        for &g in grads.bias.as_slice() {
+            assert!((g - per_k).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn output_dim_math() {
+        let spec = ConvSpec::new(11, 11).with_stride(4).with_padding(2);
+        assert_eq!(spec.output_dim(224, 224), (55, 55));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_channel_mismatch() {
+        let spec = ConvSpec::new(3, 3);
+        let _ = conv2d(
+            &Tensor::zeros(&[1, 2, 5, 5]),
+            &Tensor::zeros(&[1, 3, 3, 3]),
+            &Tensor::zeros(&[1]),
+            &spec,
+        );
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # cscnn-tensor
+//!
+//! A minimal, dependency-light N-dimensional `f32` tensor library providing
+//! exactly the kernels the CSCNN reproduction needs: element-wise ops,
+//! matrix multiplication, 2-D convolution (forward and backward, via im2col),
+//! pooling, and weight initialization.
+//!
+//! The library is deliberately *not* an autograd engine: each NN layer in
+//! [`cscnn-nn`](../cscnn_nn/index.html) implements its own backward pass on
+//! top of these kernels, mirroring how the paper's algorithmic contribution
+//! (centrosymmetric gradient tying, Eq. 7) manipulates raw gradients.
+//!
+//! # Example
+//!
+//! ```
+//! use cscnn_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+
+mod conv;
+mod init;
+mod matmul;
+mod ops;
+mod pool;
+mod shape;
+mod tensor;
+mod winograd;
+
+pub use conv::{conv2d, conv2d_backward, Conv2dGrads, ConvSpec};
+pub use init::{kaiming_uniform, uniform, xavier_uniform};
+pub use matmul::{matmul, matmul_at, matmul_bt};
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
+pub use shape::Shape;
+pub use winograd::{winograd_conv2d, DIRECT_MULTS_PER_OUTPUT, WINOGRAD_MULTS_PER_OUTPUT};
+pub use tensor::Tensor;

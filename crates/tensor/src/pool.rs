@@ -1,0 +1,241 @@
+//! 2-D max and average pooling, forward and backward.
+
+use crate::Tensor;
+
+/// Pooling window geometry.
+///
+/// # Example
+///
+/// ```
+/// use cscnn_tensor::PoolSpec;
+///
+/// let p = PoolSpec::new(2); // 2x2 window, stride 2
+/// assert_eq!(p.output_dim(8, 8), (4, 4));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Square window side.
+    pub window: usize,
+    /// Stride (defaults to the window side — non-overlapping pooling).
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Non-overlapping pooling with a square `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        PoolSpec {
+            window,
+            stride: window,
+        }
+    }
+
+    /// Overrides the stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "pool stride must be positive");
+        self.stride = stride;
+        self
+    }
+
+    /// Output spatial extent for an `(h, w)` input.
+    pub fn output_dim(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(h >= self.window && w >= self.window, "input smaller than window");
+        ((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1)
+    }
+}
+
+/// Max pooling over `[N, C, H, W]`; also returns the argmax index map used by
+/// the backward pass.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or is smaller than the window.
+pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>) {
+    let d = input.shape().dims();
+    assert_eq!(d.len(), 4, "max_pool2d expects [N,C,H,W]");
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (oh, ow) = spec.output_dim(h, w);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    let mut o = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dy in 0..spec.window {
+                        for dx in 0..spec.window {
+                            let idx =
+                                plane + (oy * spec.stride + dy) * w + ox * spec.stride + dx;
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    dst[o] = best;
+                    argmax[o] = best_idx;
+                    o += 1;
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the input
+/// position recorded in `argmax`.
+///
+/// # Panics
+///
+/// Panics if `grad_out.len() != argmax.len()`.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Tensor {
+    assert_eq!(grad_out.len(), argmax.len(), "grad/argmax length mismatch");
+    let mut grad_in = Tensor::zeros(input_dims);
+    let dst = grad_in.as_mut_slice();
+    for (&g, &idx) in grad_out.as_slice().iter().zip(argmax) {
+        dst[idx] += g;
+    }
+    grad_in
+}
+
+/// Average pooling over `[N, C, H, W]`.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or is smaller than the window.
+pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Tensor {
+    let d = input.shape().dims();
+    assert_eq!(d.len(), 4, "avg_pool2d expects [N,C,H,W]");
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (oh, ow) = spec.output_dim(h, w);
+    let inv = 1.0 / (spec.window * spec.window) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    let mut o = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for dy in 0..spec.window {
+                        for dx in 0..spec.window {
+                            acc += src
+                                [plane + (oy * spec.stride + dy) * w + ox * spec.stride + dx];
+                        }
+                    }
+                    dst[o] = acc * inv;
+                    o += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`avg_pool2d`].
+///
+/// # Panics
+///
+/// Panics if `grad_out`'s shape is inconsistent with `input_dims` and `spec`.
+pub fn avg_pool2d_backward(grad_out: &Tensor, input_dims: &[usize], spec: &PoolSpec) -> Tensor {
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (oh, ow) = spec.output_dim(h, w);
+    assert_eq!(grad_out.shape().dims(), &[n, c, oh, ow], "grad_out shape mismatch");
+    let inv = 1.0 / (spec.window * spec.window) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    let src = grad_out.as_slice();
+    let dst = grad_in.as_mut_slice();
+    let mut o = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = src[o] * inv;
+                    o += 1;
+                    for dy in 0..spec.window {
+                        for dx in 0..spec.window {
+                            dst[plane + (oy * spec.stride + dy) * w + ox * spec.stride + dx] +=
+                                g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, 9.0, 0.25, 0.75,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (out, argmax) = max_pool2d(&input, &PoolSpec::new(2));
+        assert_eq!(out.as_slice(), &[4.0, 8.0, 9.0, 0.75]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let (out, argmax) = max_pool2d(&input, &PoolSpec::new(2));
+        let go = Tensor::full(out.shape().dims(), 2.0);
+        let gi = max_pool2d_backward(&go, &argmax, &[1, 1, 4, 4]);
+        // Maxima are bottom-right of each window: indices 5, 7, 13, 15.
+        let mut expect = [0.0f32; 16];
+        for idx in [5usize, 7, 13, 15] {
+            expect[idx] = 2.0;
+        }
+        assert_eq!(gi.as_slice(), &expect[..]);
+    }
+
+    #[test]
+    fn avg_pool_round_trip_gradient_is_uniform() {
+        let input = Tensor::from_fn(&[2, 3, 4, 4], |i| (i as f32).cos());
+        let spec = PoolSpec::new(2);
+        let out = avg_pool2d(&input, &spec);
+        assert_eq!(out.shape().dims(), &[2, 3, 2, 2]);
+        let go = Tensor::full(out.shape().dims(), 1.0);
+        let gi = avg_pool2d_backward(&go, &[2, 3, 4, 4], &spec);
+        for &g in gi.as_slice() {
+            assert!((g - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn overlapping_pooling_dimension_math() {
+        // AlexNet-style 3x3 stride-2 pooling.
+        let spec = PoolSpec::new(3).with_stride(2);
+        assert_eq!(spec.output_dim(55, 55), (27, 27));
+    }
+}

@@ -1,0 +1,173 @@
+//! Tensor shapes and row-major stride arithmetic.
+
+use std::fmt;
+
+/// The extents of a tensor along each dimension, in row-major order.
+///
+/// `Shape` is a thin wrapper over a `Vec<usize>` that pre-computes row-major
+/// strides and total element count so that index arithmetic in hot loops is
+/// branch-free.
+///
+/// # Example
+///
+/// ```
+/// use cscnn_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), &[12, 4, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    len: usize,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// A zero-dimensional shape (`&[]`) describes a scalar with one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
+        let mut strides = vec![0usize; dims.len()];
+        let mut acc = 1usize;
+        for (stride, &dim) in strides.iter_mut().zip(dims.iter()).rev() {
+            *stride = acc;
+            acc = acc
+                .checked_mul(dim)
+                .expect("shape element count overflows usize");
+        }
+        Shape {
+            dims: dims.to_vec(),
+            strides,
+            len: acc,
+        }
+    }
+
+    /// Total number of elements described by this shape.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` only for the (impossible) empty tensor; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extents along each dimension.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (elements, not bytes).
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the index rank mismatches or any
+    /// coordinate is out of range.
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0;
+        for (i, (&ix, &stride)) in index.iter().zip(self.strides.iter()).enumerate() {
+            debug_assert!(ix < self.dims[i], "index {ix} out of range on axis {i}");
+            off += ix * stride;
+        }
+        off
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "[{}]", parts.join("x"))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[4, 3, 2]);
+        assert_eq!(s.strides(), &[6, 2, 1]);
+        assert_eq!(s.len(), 24);
+    }
+
+    #[test]
+    fn offset_walks_in_row_major_order() {
+        let s = Shape::new(&[2, 3]);
+        let mut expected = 0usize;
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(s.offset(&[i, j]), expected);
+                expected += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized dimension")]
+    fn zero_extent_rejected() {
+        let _ = Shape::new(&[3, 0]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+    }
+}

@@ -1,0 +1,233 @@
+//! Winograd fast convolution `F(2×2, 3×3)` (Lavin & Gray).
+//!
+//! The paper's related-work section (§VI-C) positions centrosymmetric reuse
+//! against Winograd's algebraic reuse: Winograd computes a `3×3` unit-stride
+//! convolution with 16 multiplications per `2×2` output tile (4 per output
+//! vs the direct 9 — a 2.25× reduction), at the cost of transform adds and
+//! incompatibility with weight sparsity. This implementation exists so the
+//! reproduction can compare both reuse styles numerically and in
+//! multiplication counts.
+
+use crate::Tensor;
+
+/// Multiplications per output element for a direct 3×3 convolution.
+pub const DIRECT_MULTS_PER_OUTPUT: f64 = 9.0;
+/// Multiplications per output element for Winograd `F(2×2, 3×3)`.
+pub const WINOGRAD_MULTS_PER_OUTPUT: f64 = 4.0;
+
+/// Transforms a 3×3 kernel slice to the 4×4 Winograd domain: `G g Gᵀ`.
+fn transform_kernel(g: &[f32; 9]) -> [f32; 16] {
+    // G = [[1,0,0],[0.5,0.5,0.5],[0.5,-0.5,0.5],[0,0,1]]
+    let mut tmp = [0.0f32; 12]; // G·g : 4x3
+    for col in 0..3 {
+        let (a, b, c) = (g[col], g[3 + col], g[6 + col]);
+        tmp[col] = a;
+        tmp[3 + col] = 0.5 * (a + b + c);
+        tmp[6 + col] = 0.5 * (a - b + c);
+        tmp[9 + col] = c;
+    }
+    let mut out = [0.0f32; 16]; // (G·g)·Gᵀ : 4x4
+    for row in 0..4 {
+        let (a, b, c) = (tmp[row * 3], tmp[row * 3 + 1], tmp[row * 3 + 2]);
+        out[row * 4] = a;
+        out[row * 4 + 1] = 0.5 * (a + b + c);
+        out[row * 4 + 2] = 0.5 * (a - b + c);
+        out[row * 4 + 3] = c;
+    }
+    out
+}
+
+/// Transforms a 4×4 input tile to the Winograd domain: `Bᵀ d B`.
+fn transform_input(d: &[f32; 16]) -> [f32; 16] {
+    // Bᵀ = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]]
+    let mut tmp = [0.0f32; 16]; // Bᵀ·d
+    for col in 0..4 {
+        let (a, b, c, e) = (d[col], d[4 + col], d[8 + col], d[12 + col]);
+        tmp[col] = a - c;
+        tmp[4 + col] = b + c;
+        tmp[8 + col] = c - b;
+        tmp[12 + col] = b - e;
+    }
+    let mut out = [0.0f32; 16]; // (Bᵀ·d)·B
+    for row in 0..4 {
+        let (a, b, c, e) = (
+            tmp[row * 4],
+            tmp[row * 4 + 1],
+            tmp[row * 4 + 2],
+            tmp[row * 4 + 3],
+        );
+        out[row * 4] = a - c;
+        out[row * 4 + 1] = b + c;
+        out[row * 4 + 2] = c - b;
+        out[row * 4 + 3] = b - e;
+    }
+    out
+}
+
+/// Maps a 4×4 Winograd-domain product back to the 2×2 output tile:
+/// `Aᵀ m A`.
+fn transform_output(m: &[f32; 16]) -> [f32; 4] {
+    // Aᵀ = [[1,1,1,0],[0,1,-1,-1]]
+    let mut tmp = [0.0f32; 8]; // Aᵀ·m : 2x4
+    for col in 0..4 {
+        let (a, b, c, e) = (m[col], m[4 + col], m[8 + col], m[12 + col]);
+        tmp[col] = a + b + c;
+        tmp[4 + col] = b - c - e;
+    }
+    let mut out = [0.0f32; 4]; // (Aᵀ·m)·A : 2x2
+    for row in 0..2 {
+        let (a, b, c, e) = (
+            tmp[row * 4],
+            tmp[row * 4 + 1],
+            tmp[row * 4 + 2],
+            tmp[row * 4 + 3],
+        );
+        out[row * 2] = a + b + c;
+        out[row * 2 + 1] = b - c - e;
+    }
+    out
+}
+
+/// Winograd `F(2×2, 3×3)` convolution, numerically equivalent to
+/// [`crate::conv2d`] with a `3×3` unit-stride spec.
+///
+/// Also returns the number of Winograd-domain multiplications performed
+/// (4 per output element, vs 9 for direct convolution).
+///
+/// # Panics
+///
+/// Panics if `weight` is not `[K, C, 3, 3]` or the padded input's spatial
+/// extent is not even (tiles are 2×2; pad to even extents).
+pub fn winograd_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    padding: usize,
+) -> (Tensor, u64) {
+    let id = input.shape().dims();
+    let (n, c, h, w) = (id[0], id[1], id[2], id[3]);
+    let wd = weight.shape().dims();
+    assert_eq!(&wd[2..], &[3, 3], "Winograd F(2x2,3x3) needs 3x3 kernels");
+    assert_eq!(wd[1], c, "channel mismatch");
+    let k = wd[0];
+    let oh = h + 2 * padding - 2;
+    let ow = w + 2 * padding - 2;
+    assert!(
+        oh.is_multiple_of(2) && ow.is_multiple_of(2),
+        "output extent must be even for 2x2 tiling (got {oh}x{ow})"
+    );
+    // Pre-transform all kernels.
+    let mut u = vec![[0.0f32; 16]; k * c];
+    for ki in 0..k {
+        for ci in 0..c {
+            let base = (ki * c + ci) * 9;
+            let mut g = [0.0f32; 9];
+            g.copy_from_slice(&weight.as_slice()[base..base + 9]);
+            u[ki * c + ci] = transform_kernel(&g);
+        }
+    }
+    let src = input.as_slice();
+    let mut out = Tensor::zeros(&[n, k, oh, ow]);
+    let mut mults: u64 = 0;
+    let pad = padding as isize;
+    for ni in 0..n {
+        for ty in (0..oh).step_by(2) {
+            for tx in (0..ow).step_by(2) {
+                // Winograd-domain accumulators per output channel.
+                let mut m_acc = vec![[0.0f32; 16]; k];
+                for ci in 0..c {
+                    // Gather the 4x4 input tile (with zero padding).
+                    let mut d = [0.0f32; 16];
+                    for dy in 0..4 {
+                        for dx in 0..4 {
+                            let iy = ty as isize + dy as isize - pad;
+                            let ix = tx as isize + dx as isize - pad;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                d[dy * 4 + dx] =
+                                    src[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+                            }
+                        }
+                    }
+                    let v = transform_input(&d);
+                    for ki in 0..k {
+                        let uk = &u[ki * c + ci];
+                        let acc = &mut m_acc[ki];
+                        for i in 0..16 {
+                            acc[i] += uk[i] * v[i];
+                        }
+                        mults += 16;
+                    }
+                }
+                for ki in 0..k {
+                    let y = transform_output(&m_acc[ki]);
+                    let b = bias.as_slice()[ki];
+                    let dst = out.as_mut_slice();
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            dst[((ni * k + ki) * oh + ty + dy) * ow + tx + dx] =
+                                y[dy * 2 + dx] + b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (out, mults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{conv2d, ConvSpec};
+
+    fn seq(dims: &[usize], scale: f32) -> Tensor {
+        Tensor::from_fn(dims, |i| ((i as f32) * scale).sin())
+    }
+
+    #[test]
+    fn matches_direct_convolution_unpadded() {
+        let input = seq(&[2, 3, 8, 8], 0.13);
+        let weight = seq(&[4, 3, 3, 3], 0.29);
+        let bias = seq(&[4], 0.7);
+        let (wino, _) = winograd_conv2d(&input, &weight, &bias, 0);
+        let direct = conv2d(&input, &weight, &bias, &ConvSpec::new(3, 3));
+        assert_eq!(wino.shape(), direct.shape());
+        for (a, b) in wino.as_slice().iter().zip(direct.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_direct_convolution_padded() {
+        let input = seq(&[1, 2, 6, 6], 0.17);
+        let weight = seq(&[3, 2, 3, 3], 0.31);
+        let bias = Tensor::zeros(&[3]);
+        let (wino, _) = winograd_conv2d(&input, &weight, &bias, 1);
+        let direct = conv2d(&input, &weight, &bias, &ConvSpec::new(3, 3).with_padding(1));
+        for (a, b) in wino.as_slice().iter().zip(direct.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn multiplication_count_is_2_25x_lower() {
+        let input = seq(&[1, 4, 10, 10], 0.11);
+        let weight = seq(&[8, 4, 3, 3], 0.23);
+        let bias = Tensor::zeros(&[8]);
+        let (out, mults) = winograd_conv2d(&input, &weight, &bias, 0);
+        let direct_mults = (out.len() * 4 * 9) as u64; // outputs × C × 9
+        assert_eq!(mults * 9, direct_mults * 4, "exactly 2.25x fewer");
+        let per_output = mults as f64 / (out.len() * 4) as f64;
+        assert!((per_output - WINOGRAD_MULTS_PER_OUTPUT).abs() < 1e-9);
+        let _ = DIRECT_MULTS_PER_OUTPUT;
+    }
+
+    #[test]
+    #[should_panic(expected = "even for 2x2 tiling")]
+    fn odd_output_extent_is_rejected() {
+        let input = Tensor::zeros(&[1, 1, 7, 7]);
+        let weight = Tensor::zeros(&[1, 1, 3, 3]);
+        let bias = Tensor::zeros(&[1]);
+        let _ = winograd_conv2d(&input, &weight, &bias, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The full co-design loop on a real benchmark network: pick a catalog
+//! model, apply every compression scheme, and simulate the resulting
+//! workloads on the accelerator suite.
+//!
+//! ```sh
+//! cargo run --release --example compress_and_simulate [model]
+//! ```
+//!
+//! `model` defaults to `vgg16`; any catalog alias works (`alexnet`,
+//! `resnet-50`, `shufflenet-v2`, ...).
+
+use cscnn::models::{catalog, CompressionScheme, ModelCompression};
+use cscnn::sim::{baselines, CartesianAccelerator, Runner};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "vgg16".to_string());
+    let model = catalog::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model '{name}'; try alexnet, vgg16, resnet-18, ...");
+        std::process::exit(1);
+    });
+    println!("== compress & simulate: {} ==\n", model.name);
+    println!(
+        "{} weight-bearing layers, {:.2} GMACs dense, {:.1} M weights\n",
+        model.layers.len(),
+        model.dense_mults() as f64 / 1e9,
+        model.weights() as f64 / 1e6
+    );
+
+    // Compression schemes side by side (the Tables II/III view).
+    println!("compression schemes:");
+    println!(
+        "  {:18} {:>12} {:>14} {:>12}",
+        "scheme", "mult red.", "weight comp.", "GMACs left"
+    );
+    for scheme in [
+        CompressionScheme::Dense,
+        CompressionScheme::DeepCompression,
+        CompressionScheme::Cscnn,
+        CompressionScheme::CscnnPruning,
+    ] {
+        let mc = ModelCompression::new(model.clone(), scheme);
+        println!(
+            "  {:18} {:>11.2}x {:>13.2}x {:>12.3}",
+            scheme.label(),
+            mc.reduction(),
+            mc.weight_compression(),
+            mc.total_mults() / 1e9
+        );
+    }
+
+    // Accelerator comparison (the Fig. 7 view for this one model).
+    println!("\naccelerators (multiplier budgets equalized):");
+    let runner = Runner::new(42);
+    let accs = baselines::evaluation_accelerators();
+    let dcnn_time = runner.run_model(&baselines::dcnn(), &model).total_time_s();
+    println!(
+        "  {:14} {:>12} {:>10} {:>14} {:>12}",
+        "accelerator", "time (ms)", "speedup", "energy (uJ)", "EDP gain"
+    );
+    let dcnn_stats = runner.run_model(&baselines::dcnn(), &model);
+    for acc in &accs {
+        let stats = runner.run_model(acc.as_ref(), &model);
+        println!(
+            "  {:14} {:>12.3} {:>9.2}x {:>14.1} {:>11.2}x",
+            stats.accelerator,
+            stats.total_time_s() * 1e3,
+            dcnn_time / stats.total_time_s(),
+            stats.total_on_chip_pj() * 1e-6,
+            stats.edp_gain_over(&dcnn_stats).max(
+                dcnn_stats.edp() / stats.edp()
+            )
+        );
+    }
+
+    // Layer-wise CSCNN vs SCNN detail (the Fig. 8 view).
+    println!("\nlayer-wise CSCNN speedup over SCNN (conv layers):");
+    let scnn = runner.run_model(&CartesianAccelerator::scnn(), &model);
+    let cscnn = runner.run_model(&CartesianAccelerator::cscnn(), &model);
+    for (s, c) in scnn.layers.iter().zip(&cscnn.layers).take(16) {
+        println!("  {:14} {:>6.2}x", s.name, s.time_s / c.time_s);
+    }
+    if scnn.layers.len() > 16 {
+        println!("  ... ({} more layers)", scnn.layers.len() - 16);
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: compress a small CNN with centrosymmetric filters and
+//! compare the CSCNN accelerator against the dense baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cscnn::prelude::*;
+use cscnn::nn::models;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // Algorithm side: train → project (Eq. 5) → retrain (Eq. 7).
+    // ---------------------------------------------------------------
+    println!("== CSCNN quickstart ==\n");
+    println!("[1/3] training a small CNN on a synthetic 4-class task...");
+    let data = SyntheticImages::generate(1, 16, 16, 4, 80, 0.12, 42);
+    let net = models::tiny_cnn(1, 16, 16, 4, 42);
+    let config = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        lr: 0.05,
+        ..Default::default()
+    };
+    let report = CompressionPipeline::new(config).run(
+        net,
+        &data,
+        &models::tiny_cnn_conv_inputs(16, 16),
+    );
+    println!("      baseline accuracy        : {:5.1} %", 100.0 * report.baseline_accuracy);
+    println!(
+        "      after Eq. 5 projection    : {:5.1} %  (collapses, as in the paper)",
+        100.0 * report.post_projection_accuracy
+    );
+    println!(
+        "      after Eq. 7 retraining    : {:5.1} %  (recovers)",
+        100.0 * report.retrained_accuracy
+    );
+    println!(
+        "      multiplication reduction  : {:.2}x (structure only)\n",
+        report.mults.centro_reduction()
+    );
+
+    // ---------------------------------------------------------------
+    // Hardware side: simulate AlexNet on DCNN, SCNN, and CSCNN.
+    // ---------------------------------------------------------------
+    println!("[2/3] simulating AlexNet on three accelerators...");
+    let runner = Runner::new(42);
+    let model = catalog::alexnet();
+    let dcnn = runner.run_model(&baselines::dcnn(), &model);
+    let scnn = runner.run_model(&CartesianAccelerator::scnn(), &model);
+    let cscnn = runner.run_model(&CartesianAccelerator::cscnn(), &model);
+    println!("      {:8} {:>12} {:>14} {:>10}", "accel", "time (ms)", "energy (uJ)", "speedup");
+    for s in [&dcnn, &scnn, &cscnn] {
+        println!(
+            "      {:8} {:>12.3} {:>14.1} {:>9.2}x",
+            s.accelerator,
+            s.total_time_s() * 1e3,
+            s.total_on_chip_pj() * 1e-6,
+            dcnn.total_time_s() / s.total_time_s()
+        );
+    }
+
+    println!("\n[3/3] headline numbers (paper: 3.7x / 1.6x speedup, 8.9x / 2.8x EDP):");
+    println!(
+        "      CSCNN vs DCNN : {:.2}x speedup, {:.2}x EDP",
+        cscnn.speedup_over(&dcnn),
+        cscnn.edp_gain_over(&dcnn)
+    );
+    println!(
+        "      CSCNN vs SCNN : {:.2}x speedup, {:.2}x EDP",
+        cscnn.speedup_over(&scnn),
+        cscnn.edp_gain_over(&scnn)
+    );
+    println!("\nSee `cargo run -p cscnn-bench --bin fig7` for the full evaluation.");
+}

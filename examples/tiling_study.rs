@@ -1,0 +1,75 @@
+//! Spatial-tiling design-space study (paper §III-C / Fig. 11): planar vs
+//! output-channel vs mixed tiling, with and without density-sorted filter
+//! balancing, across networks of very different shapes.
+//!
+//! ```sh
+//! cargo run --release --example tiling_study
+//! ```
+
+use cscnn::models::catalog;
+use cscnn::sim::tiling::TilingStrategy;
+use cscnn::sim::{CartesianAccelerator, Runner};
+
+fn main() {
+    println!("== spatial tiling study (Fig. 11 design space) ==\n");
+    let runner = Runner::new(42);
+    let models = [
+        catalog::lenet5(),
+        catalog::convnet(),
+        catalog::alexnet(),
+        catalog::vgg16(),
+    ];
+    let strategies = [
+        ("planar", TilingStrategy::Planar),
+        ("output-channel", TilingStrategy::OutputChannel),
+        ("mixed", TilingStrategy::Mixed),
+    ];
+
+    println!("speedup over planar tiling (CSCNN accelerator):");
+    print!("  {:16}", "model");
+    for (name, _) in &strategies {
+        print!("{:>16}", name);
+    }
+    println!();
+    for model in &models {
+        let planar_time = runner
+            .run_model(
+                &CartesianAccelerator::cscnn().with_tiling(TilingStrategy::Planar),
+                model,
+            )
+            .total_time_s();
+        print!("  {:16}", model.name);
+        for (_, strategy) in &strategies {
+            let t = runner
+                .run_model(&CartesianAccelerator::cscnn().with_tiling(*strategy), model)
+                .total_time_s();
+            print!("{:>15.2}x", planar_time / t);
+        }
+        println!();
+    }
+
+    println!("\neffect of density-sorted filter balancing (mixed tiling):");
+    println!("  {:16} {:>12} {:>12} {:>8}", "model", "naive (ms)", "sorted (ms)", "gain");
+    for model in &models {
+        let naive = runner
+            .run_model(&CartesianAccelerator::cscnn().with_balancing(false), model)
+            .total_time_s();
+        let sorted = runner
+            .run_model(&CartesianAccelerator::cscnn().with_balancing(true), model)
+            .total_time_s();
+        println!(
+            "  {:16} {:>12.3} {:>12.3} {:>7.2}x",
+            model.name,
+            naive * 1e3,
+            sorted * 1e3,
+            naive / sorted
+        );
+    }
+
+    println!("\ninterpretation:");
+    println!("  - output-channel tiling matches mixed on large nets but starves");
+    println!("    on LeNet-5/ConvNet (too few output channels per PE);");
+    println!("  - planar tiling pays kernel-halo and imbalance costs that grow");
+    println!("    as feature maps shrink;");
+    println!("  - mixed tiling adapts per layer and dominates overall (§III-C).");
+}

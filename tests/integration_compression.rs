@@ -1,0 +1,103 @@
+//! Compression-math integration: trained networks, the sparse storage
+//! formats, and the catalog arithmetic must agree with each other.
+
+use cscnn::models::{catalog, CompressionScheme, ModelCompression};
+use cscnn::nn::centrosymmetric;
+use cscnn::nn::models;
+use cscnn::sparse::centro::CentroFilter;
+use cscnn::sparse::RleVector;
+
+#[test]
+fn trained_projected_filters_round_trip_through_centro_storage() {
+    // Project a real network's filters and verify every slice can be stored
+    // in half form and expanded losslessly.
+    let mut net = models::vgg_s(10, 77);
+    let converted = centrosymmetric::centrosymmetrize(&mut net);
+    assert_eq!(converted, 6, "all six vgg_s convs are eligible");
+    for conv in net.conv_layers_mut() {
+        let dims = conv.weight().value.shape().dims().to_vec();
+        let (k, c, r, s) = (dims[0], dims[1], dims[2], dims[3]);
+        let w = conv.weight().value.as_slice();
+        for slice_idx in 0..k * c {
+            let slice = &w[slice_idx * r * s..(slice_idx + 1) * r * s];
+            let cf = CentroFilter::from_dense(slice, r, s)
+                .expect("projected slice must be centrosymmetric");
+            assert_eq!(cf.expand(), slice);
+            assert_eq!(cf.stored_len(), (r * s).div_ceil(2));
+        }
+    }
+}
+
+#[test]
+fn rle_encoding_round_trips_network_weights() {
+    let mut net = models::convnet_s(10, 78);
+    // Prune to create real zeros, then encode each filter fiber.
+    for conv in net.conv_layers_mut() {
+        cscnn::nn::pruning::prune_conv(conv, 0.4);
+        let w = conv.weight().value.as_slice();
+        for fiber in w.chunks(64.min(w.len())) {
+            let rle = RleVector::encode(fiber, 15);
+            assert_eq!(rle.decode(), fiber);
+            let density = fiber.iter().filter(|x| **x != 0.0).count() as f64
+                / fiber.len() as f64;
+            assert!((rle.density() - density).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn model_level_reduction_agrees_with_network_level_counting() {
+    // The catalog's structural math (ModelCompression with Cscnn scheme)
+    // and a real projected network's count_multiplications must agree on
+    // the centrosymmetric reduction for matching geometry.
+    let mut net = models::vgg_s(10, 79);
+    centrosymmetric::centrosymmetrize(&mut net);
+    let counted =
+        centrosymmetric::count_multiplications(&mut net, &models::vgg_s_conv_inputs());
+    let ratio = counted.centro_reduction();
+    // vgg_s is all 3x3 unit-stride convs + one FC: expect slightly under
+    // the pure-conv 1.8.
+    assert!((1.70..=1.80).contains(&ratio), "ratio={ratio}");
+}
+
+#[test]
+fn scheme_reductions_are_ordered_for_every_model() {
+    // For every catalog model: Dense (1.0) < CSCNN < CSCNN+Pruning, and
+    // DeepCompression > 1. (CSCNN-vs-DC ordering varies by model, as in
+    // the paper's tables.)
+    for model in catalog::evaluation_suite() {
+        let dense = ModelCompression::new(model.clone(), CompressionScheme::Dense).reduction();
+        let cs = ModelCompression::new(model.clone(), CompressionScheme::Cscnn).reduction();
+        let dc = ModelCompression::new(model.clone(), CompressionScheme::DeepCompression)
+            .reduction();
+        let cp =
+            ModelCompression::new(model.clone(), CompressionScheme::CscnnPruning).reduction();
+        assert!((dense - 1.0).abs() < 1e-9, "{}", model.name);
+        // The structural reduction is bounded by the fraction of MACs in
+        // centrosymmetric-eligible (multi-weight, unit-stride) kernels:
+        // ~1.8 for 3x3-dominated models, ~1.2 for bottleneck ResNets, and
+        // ≈1.0 for pointwise-dominated ShuffleNet. (The paper's Table III
+        // reports 1.5-1.8 even for pointwise models, which Eq. 2 cannot
+        // produce on 1x1 kernels — see EXPERIMENTS.md.)
+        let eligible_frac = model
+            .layers
+            .iter()
+            .filter(|l| l.centro_eligible())
+            .map(|l| l.dense_mults() as f64)
+            .sum::<f64>()
+            / model.dense_mults() as f64;
+        let expected_floor = 1.0 + 0.35 * eligible_frac; // conservative bound
+        assert!(cs >= expected_floor, "{}: cscnn {cs} < {expected_floor}", model.name);
+        assert!(dc > 1.5, "{}: dc {dc}", model.name);
+        assert!(cp > cs, "{}: pruning must add on top of structure", model.name);
+    }
+}
+
+#[test]
+fn weight_storage_halves_under_centrosymmetric_scheme() {
+    // Table V motivation: CSCNN's weight buffer shrinks 16 KB → 10 KB
+    // because stored weights nearly halve on conv-dominated models.
+    let mc_dc = ModelCompression::new(catalog::vgg16_cifar(), CompressionScheme::Cscnn);
+    let compression = mc_dc.weight_compression();
+    assert!((1.6..=1.9).contains(&compression), "compression={compression}");
+}

@@ -1,0 +1,157 @@
+//! Integration coverage of the extension features: the CSCNN+EIE hybrid,
+//! fixed-point quantization of a trained CSCNN model, report export, and
+//! the filter-shape constraints — exercised together as a user would.
+
+use cscnn::models::catalog;
+use cscnn::nn::constraints::{apply_upper_triangular, FilterScheme};
+use cscnn::nn::datasets::SyntheticImages;
+use cscnn::nn::models;
+use cscnn::nn::quant::{quantize_network, QFormat};
+use cscnn::nn::trainer::{evaluate, TrainConfig, Trainer};
+use cscnn::nn::{centrosymmetric, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool, Network, Relu};
+use cscnn::sim::export;
+use cscnn::sim::hybrid::CscnnEie;
+use cscnn::sim::{baselines, Accelerator, CartesianAccelerator, Runner};
+use cscnn::tensor::{ConvSpec, PoolSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn quantized_centrosymmetric_network_keeps_structure_and_accuracy() {
+    // Train → centrosymmetrize → retrain → quantize to 16-bit fixed point.
+    // The quantized weights must still satisfy Eq. 2 exactly (dual weights
+    // quantize identically because they are identical) and accuracy must
+    // survive.
+    let data = SyntheticImages::generate(1, 8, 8, 3, 50, 0.12, 41);
+    let (train, test) = data.split(0.2);
+    let mut net = models::tiny_cnn(1, 8, 8, 3, 41);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 5,
+        batch_size: 16,
+        lr: 0.05,
+        ..Default::default()
+    });
+    let _ = trainer.fit(&mut net, &train, &test);
+    centrosymmetric::centrosymmetrize(&mut net);
+    let retrained = trainer.fit(&mut net, &train, &test);
+    let worst = quantize_network(&mut net);
+    assert!(worst < 1e-2, "worst quantization error {worst}");
+    assert!(
+        centrosymmetric::check_invariant(&mut net, 0.0),
+        "Eq. 2 must hold exactly after quantization"
+    );
+    let fixed_acc = evaluate(&mut net, &test, 16);
+    assert!(
+        (retrained.final_test_accuracy - fixed_acc).abs() < 0.1,
+        "float {} vs fixed {}",
+        retrained.final_test_accuracy,
+        fixed_acc
+    );
+}
+
+#[test]
+fn hybrid_joins_the_lineup_without_breaking_orderings() {
+    let runner = Runner::new(51);
+    let model = catalog::alexnet();
+    let dcnn = runner.run_model(&baselines::dcnn(), &model);
+    let cscnn = runner.run_model(&CartesianAccelerator::cscnn(), &model);
+    let hybrid = runner.run_model(&CscnnEie::new(), &model);
+    assert!(hybrid.speedup_over(&dcnn) >= cscnn.speedup_over(&dcnn) * 0.999);
+    assert!(hybrid.total_cycles() <= cscnn.total_cycles());
+    assert_eq!(hybrid.layers.len(), model.layers.len());
+    assert_eq!(hybrid.accelerator, "CSCNN+EIE");
+}
+
+#[test]
+fn export_round_trips_a_full_suite_run() {
+    let runner = Runner::new(52);
+    let models = [catalog::lenet5(), catalog::convnet()];
+    let accs: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(baselines::dcnn()),
+        Box::new(CartesianAccelerator::cscnn()),
+        Box::new(CscnnEie::new()),
+    ];
+    let mut runs = Vec::new();
+    for m in &models {
+        for a in &accs {
+            runs.push(runner.run_model(a.as_ref(), m));
+        }
+    }
+    let json = export::to_json(&runs).expect("serializable");
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid");
+    assert_eq!(parsed.as_array().expect("array").len(), 6);
+    let csv = export::to_csv(&runs);
+    let expected_rows: usize = runs.iter().map(|r| r.layers.len()).sum();
+    assert_eq!(csv.lines().count(), expected_rows + 1);
+}
+
+#[test]
+fn constrained_networks_train_through_batchnorm_stacks() {
+    // A deeper stack mixing BatchNorm with constrained convs must train
+    // and keep its structural zeros.
+    let mut rng = StdRng::seed_from_u64(53);
+    let mut net = Network::new();
+    net.push(Conv2d::new(&mut rng, 1, 8, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(BatchNorm2d::new(8));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2)));
+    net.push(Conv2d::new(&mut rng, 8, 16, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(BatchNorm2d::new(16));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2)));
+    net.push(Flatten::new());
+    net.push(Linear::new(&mut rng, 16 * 4 * 4, 3));
+    for conv in net.conv_layers_mut() {
+        apply_upper_triangular(conv);
+    }
+    let data = SyntheticImages::generate(1, 16, 16, 3, 40, 0.12, 53);
+    let (train, test) = data.split(0.25);
+    let report = Trainer::new(TrainConfig {
+        epochs: 5,
+        batch_size: 16,
+        lr: 0.03,
+        ..Default::default()
+    })
+    .fit(&mut net, &train, &test);
+    assert!(report.final_test_accuracy > 0.5, "acc {}", report.final_test_accuracy);
+    for conv in net.conv_layers_mut() {
+        for slice in conv.weight().value.as_slice().chunks(9) {
+            assert_eq!(slice[3], 0.0, "triangular zeros must survive training");
+            assert_eq!(slice[6], 0.0);
+            assert_eq!(slice[7], 0.0);
+        }
+    }
+}
+
+#[test]
+fn scheme_parameter_accounting_is_internally_consistent() {
+    // FilterScheme's parameter math must agree with the mask-based
+    // implementations' surviving-weight counts.
+    let mut rng = StdRng::seed_from_u64(54);
+    let mut conv = Conv2d::new(&mut rng, 4, 4, ConvSpec::new(3, 3).with_padding(1));
+    let free = apply_upper_triangular(&mut conv);
+    assert_eq!(free, FilterScheme::UpperTriangular.params_per_slice(3, 3));
+    let mask = conv.weight().mask.as_ref().expect("mask");
+    let kept_per_slice = mask.as_slice()[..9].iter().filter(|&&m| m == 1.0).count();
+    assert_eq!(kept_per_slice, free);
+}
+
+#[test]
+fn quantization_format_fit_handles_trained_weight_ranges() {
+    // Trained weights live well within ±1; the fitted format should use
+    // most of its fractional bits and round-trip with tiny error.
+    let data = SyntheticImages::generate(1, 8, 8, 2, 30, 0.1, 55);
+    let (train, test) = data.split(0.25);
+    let mut net = models::tiny_cnn(1, 8, 8, 2, 55);
+    let _ = Trainer::new(TrainConfig {
+        epochs: 3,
+        ..Default::default()
+    })
+    .fit(&mut net, &train, &test);
+    for p in net.params() {
+        let fmt = QFormat::fit(p.value.as_slice());
+        assert!(fmt.frac_bits >= 8, "frac_bits {}", fmt.frac_bits);
+        let max = p.value.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(fmt.max_value() >= max);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the tensor kernels: algebraic identities
+//! (linearity, distributivity), pooling invariants, and Winograd/direct
+//! convolution equivalence over randomized shapes and values.
+
+use cscnn::tensor::{
+    avg_pool2d, avg_pool2d_backward, conv2d, matmul, matmul_at, matmul_bt, max_pool2d,
+    winograd_conv2d, ConvSpec, PoolSpec, Tensor,
+};
+use proptest::prelude::*;
+
+fn tensor_strategy(dims: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-2.0f32..2.0, dims.iter().product::<usize>())
+        .prop_map(move |v| Tensor::from_vec(v, dims))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Convolution is linear in the input: conv(a + b) == conv(a) + conv(b)
+    /// with a zero bias.
+    #[test]
+    fn conv_is_linear_in_input(
+        a in tensor_strategy(&[1, 2, 6, 6]),
+        b in tensor_strategy(&[1, 2, 6, 6]),
+        w in tensor_strategy(&[3, 2, 3, 3]),
+    ) {
+        let spec = ConvSpec::new(3, 3).with_padding(1);
+        let bias = Tensor::zeros(&[3]);
+        let sum_in = a.zip(&b, |x, y| x + y);
+        let lhs = conv2d(&sum_in, &w, &bias, &spec);
+        let mut rhs = conv2d(&a, &w, &bias, &spec);
+        rhs.axpy(1.0, &conv2d(&b, &w, &bias, &spec));
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+        }
+    }
+
+    /// Convolution is linear in the weights too.
+    #[test]
+    fn conv_is_linear_in_weights(
+        x in tensor_strategy(&[1, 2, 6, 6]),
+        w1 in tensor_strategy(&[3, 2, 3, 3]),
+        w2 in tensor_strategy(&[3, 2, 3, 3]),
+    ) {
+        let spec = ConvSpec::new(3, 3);
+        let bias = Tensor::zeros(&[3]);
+        let w_sum = w1.zip(&w2, |a, b| a + b);
+        let lhs = conv2d(&x, &w_sum, &bias, &spec);
+        let mut rhs = conv2d(&x, &w1, &bias, &spec);
+        rhs.axpy(1.0, &conv2d(&x, &w2, &bias, &spec));
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+    }
+
+    /// Winograd F(2x2,3x3) equals direct convolution on random data.
+    #[test]
+    fn winograd_equals_direct(
+        x in tensor_strategy(&[1, 3, 8, 8]),
+        w in tensor_strategy(&[2, 3, 3, 3]),
+        padded in proptest::bool::ANY,
+    ) {
+        let padding = usize::from(padded);
+        let bias = Tensor::zeros(&[2]);
+        let (wino, mults) = winograd_conv2d(&x, &w, &bias, padding);
+        let direct = conv2d(&x, &w, &bias, &ConvSpec::new(3, 3).with_padding(padding));
+        prop_assert_eq!(wino.shape(), direct.shape());
+        for (a, b) in wino.as_slice().iter().zip(direct.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+        // Exactly 4 multiplications per output per input channel.
+        prop_assert_eq!(mults, (wino.len() * 3 * 4) as u64);
+    }
+
+    /// Matmul distributes over addition, and the transposed variants agree
+    /// with explicit transposes.
+    #[test]
+    fn matmul_identities(
+        a in tensor_strategy(&[4, 5]),
+        b in tensor_strategy(&[5, 3]),
+        c in tensor_strategy(&[5, 3]),
+    ) {
+        let b_plus_c = b.zip(&c, |x, y| x + y);
+        let lhs = matmul(&a, &b_plus_c);
+        let mut rhs = matmul(&a, &b);
+        rhs.axpy(1.0, &matmul(&a, &c));
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+        let at = matmul_at(&a, &a); // aᵀ·a : symmetric PSD
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert!((at.at(&[i, j]) - at.at(&[j, i])).abs() < 1e-3);
+            }
+            prop_assert!(at.at(&[i, i]) >= -1e-4, "diagonal of aᵀa is non-negative");
+        }
+        let bt = matmul_bt(&a, &Tensor::eye(5));
+        for (l, r) in bt.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-5, "a·Iᵀ == a");
+        }
+    }
+
+    /// Max pooling dominates average pooling pointwise, and both lie within
+    /// the input's range.
+    #[test]
+    fn pooling_order_and_range(x in tensor_strategy(&[1, 2, 8, 8])) {
+        let spec = PoolSpec::new(2);
+        let (mx, _) = max_pool2d(&x, &spec);
+        let av = avg_pool2d(&x, &spec);
+        let (lo, hi) = x
+            .as_slice()
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
+        for (m, a) in mx.as_slice().iter().zip(av.as_slice()) {
+            prop_assert!(m >= a, "max >= avg");
+            prop_assert!(*m <= hi + 1e-6 && *a >= lo - 1e-6);
+        }
+    }
+
+    /// Average pooling backward conserves gradient mass.
+    #[test]
+    fn avg_pool_backward_conserves_mass(g in tensor_strategy(&[1, 2, 4, 4])) {
+        let spec = PoolSpec::new(2);
+        let gi = avg_pool2d_backward(&g, &[1, 2, 8, 8], &spec);
+        let before: f32 = g.sum();
+        let after: f32 = gi.sum();
+        prop_assert!((before - after).abs() < 1e-3);
+    }
+
+    /// Quantize→dequantize error is bounded by half an LSB for in-range
+    /// values, and quantization is monotone.
+    #[test]
+    fn quantization_bounds_and_monotonicity(
+        vals in prop::collection::vec(-100.0f32..100.0, 1..50),
+        frac in 4u8..=8,
+    ) {
+        use cscnn::nn::quant::QFormat;
+        let fmt = QFormat::new(frac);
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut prev_q = i16::MIN;
+        for &v in &sorted {
+            let q = fmt.quantize(v);
+            prop_assert!(q >= prev_q, "quantization must be monotone");
+            prev_q = q;
+            if v.abs() < fmt.max_value() {
+                let back = fmt.dequantize(q);
+                prop_assert!((v - back).abs() <= 0.5 * fmt.resolution() + 1e-6);
+            }
+        }
+    }
+}
