@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI gate for the CSCNN reproduction. Mirrors the verify ritual described
+# in README.md: format check (when rustfmt is installed), the workspace
+# invariant linter (docs/static_analysis.md), release build, test suite.
+# Fails fast on the first broken stage.
+set -eu
+
+cd "$(dirname "$0")"
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check"
+    cargo fmt --all --check
+else
+    echo "== cargo fmt not installed; skipping format check"
+fi
+
+echo "== cscnn-lint"
+cargo run -q -p cscnn-lint -- --format json
+
+echo "== cargo build --release"
+cargo build --workspace --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== ci.sh: all stages passed"

@@ -1,8 +1,13 @@
-//! Criterion benchmarks of the simulator itself: per-layer simulation on
-//! the detailed Cartesian model, workload synthesis, and the tiling
-//! planner. These keep the table/figure harnesses fast.
+//! Benchmarks of the simulator itself: per-layer simulation on the
+//! detailed Cartesian model, workload synthesis, and the tiling planner.
+//! These keep the table/figure harnesses fast.
+//!
+//! Plain `main()` harness (`harness = false`): each benchmark warms up,
+//! then runs batches until ~0.2 s elapses and reports the mean ns/iter.
+//! Run with `cargo bench -p cscnn-bench --bench simulator`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use cscnn::models::{catalog, LayerDesc};
 use cscnn::sim::dram::DramConfig;
@@ -11,11 +16,26 @@ use cscnn::sim::tiling::{self, TilingStrategy};
 use cscnn::sim::workload::LayerWorkload;
 use cscnn::sim::{baselines, Accelerator, CartesianAccelerator, LayerContext, Runner};
 
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..3 {
+        f();
+    }
+    let target = Duration::from_millis(200);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < target {
+        f();
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<36} {per_iter:>14.0} ns/iter  ({iters} iters)");
+}
+
 fn vgg_conv_layer() -> LayerDesc {
     LayerDesc::conv("conv3_2", 256, 256, 3, 3, 56, 56, 1, 1)
 }
 
-fn bench_layer_simulation(c: &mut Criterion) {
+fn main() {
     let layer = vgg_conv_layer();
     let dram = DramConfig::default();
     let energy = EnergyTable::default();
@@ -25,107 +45,97 @@ fn bench_layer_simulation(c: &mut Criterion) {
     ] {
         let wl = LayerWorkload::synthesize(&layer, 0.4, 0.6, centro, 1);
         let cfg = acc.config();
-        c.bench_function(&format!("simulate_vgg_conv3_2_{label}"), |b| {
-            b.iter(|| {
-                let ctx = LayerContext {
-                    cfg: &cfg,
-                    dram: &dram,
-                    energy: &energy,
-                    workload: black_box(&wl),
-                    input_on_chip: true,
-                    output_fits_on_chip: true,
-                };
-                acc.simulate_layer(&ctx)
-            })
+        bench(&format!("simulate_vgg_conv3_2_{label}"), || {
+            let ctx = LayerContext {
+                cfg: &cfg,
+                dram: &dram,
+                energy: &energy,
+                workload: black_box(&wl),
+                input_on_chip: true,
+                output_fits_on_chip: true,
+            };
+            black_box(acc.simulate_layer(&ctx));
         });
     }
-}
 
-fn bench_workload_synthesis(c: &mut Criterion) {
-    let layer = vgg_conv_layer();
-    c.bench_function("synthesize_vgg_conv3_2_workload", |b| {
-        b.iter(|| LayerWorkload::synthesize(black_box(&layer), 0.4, 0.6, true, 1))
+    bench("synthesize_vgg_conv3_2_workload", || {
+        black_box(LayerWorkload::synthesize(
+            black_box(&layer),
+            0.4,
+            0.6,
+            true,
+            1,
+        ));
     });
-}
 
-fn bench_tiling_planner(c: &mut Criterion) {
-    let layer = vgg_conv_layer();
     let wl = LayerWorkload::synthesize(&layer, 0.4, 0.6, false, 2);
     let cfg = CartesianAccelerator::cscnn().config();
     for (label, s) in [
         ("planar", TilingStrategy::Planar),
         ("mixed", TilingStrategy::Mixed),
     ] {
-        c.bench_function(&format!("tiling_plan_{label}"), |b| {
-            b.iter(|| tiling::plan(&cfg, black_box(&wl), s, true))
+        bench(&format!("tiling_plan_{label}"), || {
+            black_box(tiling::plan(&cfg, black_box(&wl), s, true));
         });
     }
-}
 
-fn bench_full_network(c: &mut Criterion) {
     let runner = Runner::new(1);
     let model = catalog::alexnet();
-    c.bench_function("run_alexnet_cscnn", |b| {
-        b.iter(|| runner.run_model(&CartesianAccelerator::cscnn(), black_box(&model)))
+    bench("run_alexnet_cscnn", || {
+        black_box(runner.run_model(&CartesianAccelerator::cscnn(), black_box(&model)));
     });
-    c.bench_function("run_alexnet_dcnn", |b| {
-        b.iter(|| runner.run_model(&baselines::dcnn(), black_box(&model)))
+    bench("run_alexnet_dcnn", || {
+        black_box(runner.run_model(&baselines::dcnn(), black_box(&model)));
+    });
+
+    {
+        use cscnn::sim::pe_detailed::{simulate_detailed, ChannelFibers, PeGeometry, WeightEntry};
+        let geo = PeGeometry {
+            px: 4,
+            py: 4,
+            kernel_h: 3,
+            kernel_w: 3,
+            tile_h: 14,
+            tile_w: 14,
+            k_count: 8,
+            dual: true,
+        };
+        let channels: Vec<ChannelFibers> = (0..16)
+            .map(|ci| {
+                let weights = (0..8)
+                    .flat_map(|k| {
+                        [(0u8, 0u8), (0, 1), (1, 0), (1, 1), (0, 2)]
+                            .into_iter()
+                            .map(move |(r, s)| WeightEntry {
+                                k,
+                                r,
+                                s,
+                                value: 0.5,
+                            })
+                    })
+                    .collect();
+                let acts = (0..14)
+                    .flat_map(|y| {
+                        (0..14)
+                            .filter(move |x| (x + y + ci) % 2 == 0)
+                            .map(move |x| (y as u16, x as u16, 1.0))
+                    })
+                    .collect();
+                ChannelFibers { weights, acts }
+            })
+            .collect();
+        bench("detailed_pe_16ch_dual", || {
+            black_box(
+                simulate_detailed(black_box(&geo), black_box(&channels))
+                    .expect("bench fibers in range"),
+            );
+        });
+    }
+
+    // Uncached configurations exercise the full micro-simulation; a fresh
+    // (px, py) pair per iteration is not possible deterministically, so
+    // bench the cached fast path instead.
+    bench("stall_factor_cached", || {
+        black_box(cscnn::sim::crossbar::stall_factor(4, 4, 2));
     });
 }
-
-fn bench_detailed_pe(c: &mut Criterion) {
-    use cscnn::sim::pe_detailed::{simulate_detailed, ChannelFibers, PeGeometry, WeightEntry};
-    let geo = PeGeometry {
-        px: 4,
-        py: 4,
-        kernel_h: 3,
-        kernel_w: 3,
-        tile_h: 14,
-        tile_w: 14,
-        k_count: 8,
-        dual: true,
-    };
-    let channels: Vec<ChannelFibers> = (0..16)
-        .map(|ci| {
-            let weights = (0..8)
-                .flat_map(|k| {
-                    [(0u8, 0u8), (0, 1), (1, 0), (1, 1), (0, 2)]
-                        .into_iter()
-                        .map(move |(r, s)| WeightEntry {
-                            k,
-                            r,
-                            s,
-                            value: 0.5,
-                        })
-                })
-                .collect();
-            let acts = (0..14)
-                .flat_map(|y| (0..14).filter(move |x| (x + y + ci) % 2 == 0).map(move |x| (y as u16, x as u16, 1.0)))
-                .collect();
-            ChannelFibers { weights, acts }
-        })
-        .collect();
-    c.bench_function("detailed_pe_16ch_dual", |b| {
-        b.iter(|| simulate_detailed(black_box(&geo), black_box(&channels)))
-    });
-}
-
-fn bench_crossbar_calibration(c: &mut Criterion) {
-    // Uncached configurations exercise the full micro-simulation; this
-    // bench uses a fresh (px, py) pair per size to defeat the cache is not
-    // possible deterministically, so bench the cached fast path instead.
-    c.bench_function("stall_factor_cached", |b| {
-        b.iter(|| cscnn::sim::crossbar::stall_factor(4, 4, 2))
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_layer_simulation,
-    bench_workload_synthesis,
-    bench_tiling_planner,
-    bench_full_network,
-    bench_detailed_pe,
-    bench_crossbar_calibration
-);
-criterion_main!(benches);

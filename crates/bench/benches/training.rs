@@ -1,8 +1,13 @@
-//! Criterion benchmarks of the training-side hot paths: a full SGD step on
-//! a small CNN with and without the centrosymmetric constraint, and the
-//! pruning pass.
+//! Benchmarks of the training-side hot paths: a full SGD step on a small
+//! CNN with and without the centrosymmetric constraint, and the pruning
+//! pass.
+//!
+//! Plain `main()` harness (`harness = false`): each benchmark warms up,
+//! then runs batches until ~0.2 s elapses and reports the mean ns/iter.
+//! Run with `cargo bench -p cscnn-bench --bench training`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use cscnn::nn::centrosymmetric;
 use cscnn::nn::datasets::SyntheticImages;
@@ -11,7 +16,40 @@ use cscnn::nn::models;
 use cscnn::nn::optimizer::Sgd;
 use cscnn::nn::pruning;
 
-fn bench_training_step(c: &mut Criterion) {
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..3 {
+        f();
+    }
+    let target = Duration::from_millis(200);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < target {
+        f();
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<36} {per_iter:>14.0} ns/iter  ({iters} iters)");
+}
+
+/// Variant for benchmarks that consume their input: rebuilds the state
+/// outside the timed region each iteration.
+fn bench_with_setup<T>(name: &str, mut setup: impl FnMut() -> T, mut f: impl FnMut(T)) {
+    f(setup());
+    let target = Duration::from_millis(200);
+    let mut spent = Duration::ZERO;
+    let mut iters = 0u64;
+    while spent < target {
+        let input = setup();
+        let start = Instant::now();
+        f(input);
+        spent += start.elapsed();
+        iters += 1;
+    }
+    let per_iter = spent.as_nanos() as f64 / iters as f64;
+    println!("{name:<36} {per_iter:>14.0} ns/iter  ({iters} iters)");
+}
+
+fn main() {
     let data = SyntheticImages::generate(1, 16, 16, 4, 20, 0.1, 3);
     let (x, labels) = data.batch(&(0..16).collect::<Vec<_>>());
     for (label, centro) in [("dense", false), ("centrosymmetric", true)] {
@@ -20,43 +58,32 @@ fn bench_training_step(c: &mut Criterion) {
             centrosymmetric::centrosymmetrize(&mut net);
         }
         let mut opt = Sgd::new(0.9, 1e-4);
-        c.bench_function(&format!("sgd_step_tiny_cnn_{label}"), |b| {
-            b.iter(|| {
-                let logits = net.forward(black_box(&x));
-                let (_, grad) = softmax_cross_entropy(&logits, &labels);
-                net.backward(&grad);
-                let mut params = net.params_mut();
-                opt.step(&mut params, 0.01);
-            })
+        bench(&format!("sgd_step_tiny_cnn_{label}"), || {
+            let logits = net.forward(black_box(&x));
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            net.backward(&grad);
+            let mut params = net.params_mut();
+            opt.step(&mut params, 0.01);
         });
     }
-}
 
-fn bench_pruning_pass(c: &mut Criterion) {
-    c.bench_function("prune_network_vgg_s", |b| {
-        b.iter_with_setup(
-            || models::vgg_s(10, 4),
-            |mut net| {
-                pruning::prune_network(
-                    &mut net,
-                    &pruning::PruneConfig {
-                        conv_keep: 0.4,
-                        fc_keep: 0.1,
-                    },
-                )
-            },
-        )
-    });
-}
+    bench_with_setup(
+        "prune_network_vgg_s",
+        || models::vgg_s(10, 4),
+        |mut net| {
+            pruning::prune_network(
+                &mut net,
+                &pruning::PruneConfig {
+                    conv_keep: 0.4,
+                    fc_keep: 0.1,
+                },
+            );
+        },
+    );
 
-fn bench_projection_pass(c: &mut Criterion) {
-    c.bench_function("centrosymmetrize_vgg_s", |b| {
-        b.iter_with_setup(
-            || models::vgg_s(10, 5),
-            |mut net| centrosymmetric::centrosymmetrize(&mut net),
-        )
-    });
+    bench_with_setup(
+        "centrosymmetrize_vgg_s",
+        || models::vgg_s(10, 5),
+        |mut net| centrosymmetric::centrosymmetrize(&mut net),
+    );
 }
-
-criterion_group!(benches, bench_training_step, bench_pruning_pass, bench_projection_pass);
-criterion_main!(benches);

@@ -95,7 +95,9 @@ fn main() {
     println!("== Fig. 11(c): SparTen vs tiling-optimized peers ==\n");
     let mut t = Table::new(&["model", "SparTen", "SCNN+mixed", "CSCNN"]);
     for model in &models {
-        let sparten = runner.run_model(&baselines::sparten(), model).total_time_s();
+        let sparten = runner
+            .run_model(&baselines::sparten(), model)
+            .total_time_s();
         let scnn_mixed = runner
             .run_model(
                 &CartesianAccelerator::scnn().with_tiling(TilingStrategy::Mixed),

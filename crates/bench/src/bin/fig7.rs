@@ -39,7 +39,13 @@ fn main() {
     t.print();
 
     println!("\nheadline: CSCNN's geomean gain over each baseline (paper vs measured):\n");
-    let mut h = Table::new(&["baseline", "paper speedup", "measured", "paper energy", "measured "]);
+    let mut h = Table::new(&[
+        "baseline",
+        "paper speedup",
+        "measured",
+        "paper energy",
+        "measured ",
+    ]);
     let cscnn_idx = accs.len() - 1;
     for (bi, (name, sp_ref, en_ref, _)) in paper::headline_factors().into_iter().enumerate() {
         let sp: Vec<f64> = results
@@ -70,7 +76,9 @@ fn main() {
                 .collect();
             e.row(vec![
                 name.to_string(),
-                edp_ref.map(|x| format!("{x:.1}x")).unwrap_or_else(|| "-".into()),
+                edp_ref
+                    .map(|x| format!("{x:.1}x"))
+                    .unwrap_or_else(|| "-".into()),
                 format!("{:.2}x", geomean(&edp)),
             ]);
         }

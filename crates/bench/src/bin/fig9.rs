@@ -41,7 +41,10 @@ fn main() {
             .iter()
             .map(|row| row[0].total_on_chip_pj() / row[i].total_on_chip_pj())
             .collect();
-        t.row(vec![acc.name().to_string(), format!("{:.2}x", geomean(&gains))]);
+        t.row(vec![
+            acc.name().to_string(),
+            format!("{:.2}x", geomean(&gains)),
+        ]);
     }
     t.print();
     println!("\npaper's headline: CSCNN saves 2.4x over DCNN, 1.7x over SCNN, 1.5x over");

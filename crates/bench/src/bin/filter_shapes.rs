@@ -12,10 +12,10 @@
 //! plain centrosymmetric (5 params) outperforms upper-triangular (6
 //! params).
 
+use cscnn::nn::centrosymmetric;
 use cscnn::nn::constraints::{
     apply_upper_triangular, apply_zero_center_centrosymmetric, FilterScheme,
 };
-use cscnn::nn::centrosymmetric;
 use cscnn::nn::datasets::SyntheticImages;
 use cscnn::nn::models;
 use cscnn::nn::trainer::{TrainConfig, Trainer};
@@ -36,7 +36,10 @@ fn main() {
     let schemes: Vec<(&str, FilterScheme)> = vec![
         ("full 3x3", FilterScheme::Full),
         ("centrosymmetric 3x3", FilterScheme::Centrosymmetric),
-        ("centro 3x3, zero center", FilterScheme::CentrosymmetricZeroCenter),
+        (
+            "centro 3x3, zero center",
+            FilterScheme::CentrosymmetricZeroCenter,
+        ),
         ("upper-triangular 3x3", FilterScheme::UpperTriangular),
         ("smaller 2x2", FilterScheme::Full),
     ];

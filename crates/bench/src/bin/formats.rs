@@ -14,7 +14,14 @@ use cscnn_bench::table::Table;
 fn main() {
     println!("== sparse weight-storage formats vs density ==");
     println!("(bits per dense position; 16-bit values, 4-bit run/index fields)\n");
-    let mut t = Table::new(&["density", "dense", "RLE (SCNN)", "bitmask (SparTen)", "CSC (EIE)", "winner"]);
+    let mut t = Table::new(&[
+        "density",
+        "dense",
+        "RLE (SCNN)",
+        "bitmask (SparTen)",
+        "CSC (EIE)",
+        "winner",
+    ]);
     let mut rng = sample::rng(42);
     let len = 64 * 64;
     for density in [0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00] {

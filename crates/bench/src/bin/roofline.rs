@@ -14,7 +14,9 @@ use cscnn_bench::table::Table;
 use cscnn_bench::SEED;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "alexnet".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "alexnet".to_string());
     let Some(model) = catalog::by_name(&name) else {
         eprintln!("unknown model '{name}'");
         std::process::exit(1);
@@ -49,7 +51,10 @@ fn main() {
             format!("{:.1}", bytes / 1024.0),
             format!("{:.1}", p.intensity),
             if p.memory_bound { "memory" } else { "compute" }.to_string(),
-            format!("{:.0} %", 100.0 * ls.multiplier_utilization(cfg.total_multipliers())),
+            format!(
+                "{:.0} %",
+                100.0 * ls.multiplier_utilization(cfg.total_multipliers())
+            ),
         ]);
     }
     t.print();

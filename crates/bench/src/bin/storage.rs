@@ -95,10 +95,30 @@ fn main() {
     };
     row(&mut t, "dense 16-bit", dense_bits, "-");
     row(&mut t, "DC: prune + RLE", rle_bits, "indices");
-    row(&mut t, "DC: + 256-entry codebook", clustered_bits, "indices + codebook");
-    row(&mut t, "DC: + Huffman", huffman_bits, "indices + codebook + decoder");
-    row(&mut t, "CSCNN (unique half)", cs_unique_bits, "none (positional)");
-    row(&mut t, "CSCNN + pruning (RLE)", cs_pruned_bits, "indices (half as many)");
+    row(
+        &mut t,
+        "DC: + 256-entry codebook",
+        clustered_bits,
+        "indices + codebook",
+    );
+    row(
+        &mut t,
+        "DC: + Huffman",
+        huffman_bits,
+        "indices + codebook + decoder",
+    );
+    row(
+        &mut t,
+        "CSCNN (unique half)",
+        cs_unique_bits,
+        "none (positional)",
+    );
+    row(
+        &mut t,
+        "CSCNN + pruning (RLE)",
+        cs_pruned_bits,
+        "indices (half as many)",
+    );
     t.print();
 
     println!("\nreading: the centrosymmetric halving is free of decode machinery and");

@@ -14,13 +14,23 @@ use cscnn_bench::SEED;
 
 fn main() {
     let runner = Runner::new(SEED);
-    let models = [catalog::alexnet(), catalog::vgg16_cifar(), catalog::resnet18()];
+    let models = [
+        catalog::alexnet(),
+        catalog::vgg16_cifar(),
+        catalog::resnet18(),
+    ];
 
     // ---------------------------------------------------------------
     // 1) PE array scale (total multipliers grow 16x across the sweep).
     // ---------------------------------------------------------------
     println!("== sweep 1: PE array scale (CSCNN, mixed tiling) ==\n");
-    let mut t = Table::new(&["array", "mults", "AlexNet (ms)", "VGG16-C (ms)", "ResNet-18 (ms)"]);
+    let mut t = Table::new(&[
+        "array",
+        "mults",
+        "AlexNet (ms)",
+        "VGG16-C (ms)",
+        "ResNet-18 (ms)",
+    ]);
     for (rows, cols) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8)] {
         let cfg = ArchConfig {
             pe_rows: rows,
@@ -70,7 +80,12 @@ fn main() {
     // 3) Mixed-tiling sub-array count at a 4x4 PE array.
     // ---------------------------------------------------------------
     println!("== sweep 3: mixed-tiling sub-arrays (4x4 PE array) ==\n");
-    let mut t = Table::new(&["sub-arrays", "AlexNet (ms)", "VGG16-C (ms)", "ResNet-18 (ms)"]);
+    let mut t = Table::new(&[
+        "sub-arrays",
+        "AlexNet (ms)",
+        "VGG16-C (ms)",
+        "ResNet-18 (ms)",
+    ]);
     for subarrays in [1usize, 2, 4, 8, 16] {
         let cfg = ArchConfig {
             pe_rows: 4,

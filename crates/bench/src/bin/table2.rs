@@ -11,8 +11,8 @@
 //! of the CSCNN pipeline (see DESIGN.md §2 for the dataset substitution).
 
 use cscnn::models::{catalog, CompressionScheme, ModelCompression};
-use cscnn::nn::models;
 use cscnn::nn::datasets::SyntheticImages;
+use cscnn::nn::models;
 use cscnn::nn::pruning::PruneConfig;
 use cscnn::nn::trainer::TrainConfig;
 use cscnn::CompressionPipeline;
@@ -22,7 +22,13 @@ use cscnn_bench::table::{fmt_factor, fmt_pct, Table};
 fn main() {
     println!("== Table II: compression methods on CIFAR-10 ==\n");
     let mut t = Table::new(&[
-        "model", "technique", "top-1 base", "top-1", "drop", "paper mult red.", "measured",
+        "model",
+        "technique",
+        "top-1 base",
+        "top-1",
+        "drop",
+        "paper mult red.",
+        "measured",
     ]);
     for row in paper::table2_rows() {
         let measured = catalog::by_name(row.model).map(|model| {
@@ -64,13 +70,29 @@ fn main() {
 fn proxy_training() {
     println!("\n-- proxy accuracy experiment (synthetic data, scaled models) --\n");
     let mut t = Table::new(&[
-        "proxy", "baseline", "projected", "retrained", "pruned", "kept", "mult red.",
+        "proxy",
+        "baseline",
+        "projected",
+        "retrained",
+        "pruned",
+        "kept",
+        "mult red.",
     ]);
     // The deeper VGG-S needs a gentler learning rate to converge.
     type Case = (&'static str, f32, cscnn::nn::Network, Vec<(usize, usize)>);
     let cases: Vec<Case> = vec![
-        ("ConvNet-S", 0.05, models::convnet_s(4, 1), models::convnet_s_conv_inputs()),
-        ("VGG-S", 0.01, models::vgg_s(4, 2), models::vgg_s_conv_inputs()),
+        (
+            "ConvNet-S",
+            0.05,
+            models::convnet_s(4, 1),
+            models::convnet_s_conv_inputs(),
+        ),
+        (
+            "VGG-S",
+            0.01,
+            models::vgg_s(4, 2),
+            models::vgg_s_conv_inputs(),
+        ),
     ];
     for (name, lr, net, conv_inputs) in cases {
         let config = TrainConfig {

@@ -9,7 +9,12 @@ use cscnn_bench::table::Table;
 
 fn main() {
     println!("== Table IV: comparison of the CNN accelerators ==\n");
-    let mut t = Table::new(&["accelerator", "compression", "sparsity", "inner spatial dataflow"]);
+    let mut t = Table::new(&[
+        "accelerator",
+        "compression",
+        "sparsity",
+        "inner spatial dataflow",
+    ]);
     for acc in baselines::evaluation_accelerators() {
         let c = acc.characteristics();
         t.row(vec![

@@ -11,7 +11,7 @@ pub mod paper;
 pub mod table;
 
 use cscnn::models::{catalog, ModelDesc};
-use cscnn::sim::{baselines, Accelerator, Runner, RunStats};
+use cscnn::sim::{baselines, Accelerator, RunStats, Runner};
 
 /// The workload seed used by every harness binary, so all tables/figures
 /// come from the same synthesized workloads.

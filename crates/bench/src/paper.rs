@@ -44,45 +44,309 @@ const fn row(
 /// Table II (CIFAR-10), paper rows.
 pub fn table2_rows() -> Vec<CompressionRow> {
     vec![
-        row("ConvNet", "Deep compression", Some(75.8), Some(75.7), None, None, Some(3.8)),
-        row("ConvNet", "CSCNN", Some(75.8), Some(75.8), None, None, Some(1.7)),
-        row("ConvNet", "CSCNN+Pruning", Some(75.8), Some(75.6), None, None, Some(5.8)),
-        row("VGG16-CIFAR", "Deep compression", Some(92.8), Some(92.8), None, None, Some(5.3)),
-        row("VGG16-CIFAR", "CGNet", Some(92.8), Some(92.4), None, None, Some(5.1)),
-        row("VGG16-CIFAR", "CSCNN", Some(92.8), Some(92.8), None, None, Some(1.8)),
-        row("VGG16-CIFAR", "CSCNN+Pruning", Some(92.8), Some(92.5), None, None, Some(7.2)),
-        row("WideResNet", "CSCNN", Some(95.8), Some(95.4), None, None, Some(1.6)),
+        row(
+            "ConvNet",
+            "Deep compression",
+            Some(75.8),
+            Some(75.7),
+            None,
+            None,
+            Some(3.8),
+        ),
+        row(
+            "ConvNet",
+            "CSCNN",
+            Some(75.8),
+            Some(75.8),
+            None,
+            None,
+            Some(1.7),
+        ),
+        row(
+            "ConvNet",
+            "CSCNN+Pruning",
+            Some(75.8),
+            Some(75.6),
+            None,
+            None,
+            Some(5.8),
+        ),
+        row(
+            "VGG16-CIFAR",
+            "Deep compression",
+            Some(92.8),
+            Some(92.8),
+            None,
+            None,
+            Some(5.3),
+        ),
+        row(
+            "VGG16-CIFAR",
+            "CGNet",
+            Some(92.8),
+            Some(92.4),
+            None,
+            None,
+            Some(5.1),
+        ),
+        row(
+            "VGG16-CIFAR",
+            "CSCNN",
+            Some(92.8),
+            Some(92.8),
+            None,
+            None,
+            Some(1.8),
+        ),
+        row(
+            "VGG16-CIFAR",
+            "CSCNN+Pruning",
+            Some(92.8),
+            Some(92.5),
+            None,
+            None,
+            Some(7.2),
+        ),
+        row(
+            "WideResNet",
+            "CSCNN",
+            Some(95.8),
+            Some(95.4),
+            None,
+            None,
+            Some(1.6),
+        ),
     ]
 }
 
 /// Table III (ImageNet), paper rows for the techniques we reproduce.
 pub fn table3_rows() -> Vec<CompressionRow> {
     vec![
-        row("ResNet-18", "Deep compression", Some(69.2), Some(69.0), Some(88.8), Some(88.5), Some(2.0)),
-        row("ResNet-18", "CSCNN", Some(69.2), Some(68.6), Some(88.8), Some(88.1), Some(1.7)),
-        row("ResNet-18", "CSCNN+Pruning", Some(69.2), Some(68.4), Some(88.8), Some(87.9), Some(2.8)),
-        row("VGG16", "Deep compression", Some(68.5), Some(68.8), Some(88.7), Some(89.1), Some(3.0)),
-        row("VGG16", "CSCNN", Some(68.5), Some(68.6), Some(88.7), Some(88.7), Some(1.8)),
-        row("VGG16", "CSCNN+Pruning", Some(68.5), Some(68.4), Some(88.7), Some(88.4), Some(4.3)),
-        row("AlexNet", "Deep compression", Some(57.2), Some(57.2), Some(80.3), Some(80.3), Some(2.2)),
-        row("AlexNet", "CSCNN", Some(57.2), Some(57.2), Some(80.3), Some(80.1), Some(1.5)),
-        row("AlexNet", "CSCNN+Pruning", Some(57.2), Some(57.0), Some(80.3), Some(79.9), Some(2.9)),
-        row("SqueezeNet", "Deep compression", Some(57.5), Some(57.5), Some(80.3), Some(80.3), Some(4.2)),
-        row("SqueezeNet", "CSCNN", Some(57.5), Some(57.2), Some(80.3), Some(80.1), Some(1.7)),
-        row("SqueezeNet", "CSCNN+Pruning", Some(57.5), Some(57.0), Some(80.3), Some(79.9), Some(5.9)),
-        row("ResNeXt-101", "CSCNN", Some(80.9), Some(80.1), Some(95.6), Some(94.5), Some(1.6)),
-        row("ResNet-50", "Deep compression", Some(75.3), Some(74.9), Some(92.2), Some(91.7), Some(2.2)),
-        row("ResNet-50", "CSCNN", Some(75.3), Some(75.1), Some(92.2), Some(92.0), Some(1.6)),
-        row("ResNet-50", "CSCNN+Pruning", Some(75.3), Some(74.8), Some(92.2), Some(91.5), Some(2.8)),
-        row("ResNet-152", "Deep compression", Some(77.0), Some(76.8), Some(93.3), Some(93.0), Some(2.3)),
-        row("ResNet-152", "CSCNN", Some(77.0), Some(76.9), Some(93.3), Some(93.1), Some(1.5)),
-        row("ResNet-152", "CSCNN+Pruning", Some(77.0), Some(76.6), Some(93.3), Some(92.8), Some(2.7)),
-        row("ShuffleNet-V2", "Deep compression", Some(77.2), Some(76.7), Some(93.3), Some(92.6), Some(2.2)),
-        row("ShuffleNet-V2", "CSCNN", Some(77.2), Some(76.9), Some(93.3), Some(92.7), Some(1.8)),
-        row("ShuffleNet-V2", "CSCNN+Pruning", Some(77.2), Some(76.5), Some(93.3), Some(92.4), Some(3.2)),
-        row("EfficientNet-B7", "Deep compression", Some(84.3), Some(84.0), Some(97.0), Some(96.8), Some(3.1)),
-        row("EfficientNet-B7", "CSCNN", Some(84.3), Some(84.1), Some(97.0), Some(96.8), Some(1.7)),
-        row("EfficientNet-B7", "CSCNN+Pruning", Some(84.3), Some(83.8), Some(97.0), Some(96.6), Some(4.3)),
+        row(
+            "ResNet-18",
+            "Deep compression",
+            Some(69.2),
+            Some(69.0),
+            Some(88.8),
+            Some(88.5),
+            Some(2.0),
+        ),
+        row(
+            "ResNet-18",
+            "CSCNN",
+            Some(69.2),
+            Some(68.6),
+            Some(88.8),
+            Some(88.1),
+            Some(1.7),
+        ),
+        row(
+            "ResNet-18",
+            "CSCNN+Pruning",
+            Some(69.2),
+            Some(68.4),
+            Some(88.8),
+            Some(87.9),
+            Some(2.8),
+        ),
+        row(
+            "VGG16",
+            "Deep compression",
+            Some(68.5),
+            Some(68.8),
+            Some(88.7),
+            Some(89.1),
+            Some(3.0),
+        ),
+        row(
+            "VGG16",
+            "CSCNN",
+            Some(68.5),
+            Some(68.6),
+            Some(88.7),
+            Some(88.7),
+            Some(1.8),
+        ),
+        row(
+            "VGG16",
+            "CSCNN+Pruning",
+            Some(68.5),
+            Some(68.4),
+            Some(88.7),
+            Some(88.4),
+            Some(4.3),
+        ),
+        row(
+            "AlexNet",
+            "Deep compression",
+            Some(57.2),
+            Some(57.2),
+            Some(80.3),
+            Some(80.3),
+            Some(2.2),
+        ),
+        row(
+            "AlexNet",
+            "CSCNN",
+            Some(57.2),
+            Some(57.2),
+            Some(80.3),
+            Some(80.1),
+            Some(1.5),
+        ),
+        row(
+            "AlexNet",
+            "CSCNN+Pruning",
+            Some(57.2),
+            Some(57.0),
+            Some(80.3),
+            Some(79.9),
+            Some(2.9),
+        ),
+        row(
+            "SqueezeNet",
+            "Deep compression",
+            Some(57.5),
+            Some(57.5),
+            Some(80.3),
+            Some(80.3),
+            Some(4.2),
+        ),
+        row(
+            "SqueezeNet",
+            "CSCNN",
+            Some(57.5),
+            Some(57.2),
+            Some(80.3),
+            Some(80.1),
+            Some(1.7),
+        ),
+        row(
+            "SqueezeNet",
+            "CSCNN+Pruning",
+            Some(57.5),
+            Some(57.0),
+            Some(80.3),
+            Some(79.9),
+            Some(5.9),
+        ),
+        row(
+            "ResNeXt-101",
+            "CSCNN",
+            Some(80.9),
+            Some(80.1),
+            Some(95.6),
+            Some(94.5),
+            Some(1.6),
+        ),
+        row(
+            "ResNet-50",
+            "Deep compression",
+            Some(75.3),
+            Some(74.9),
+            Some(92.2),
+            Some(91.7),
+            Some(2.2),
+        ),
+        row(
+            "ResNet-50",
+            "CSCNN",
+            Some(75.3),
+            Some(75.1),
+            Some(92.2),
+            Some(92.0),
+            Some(1.6),
+        ),
+        row(
+            "ResNet-50",
+            "CSCNN+Pruning",
+            Some(75.3),
+            Some(74.8),
+            Some(92.2),
+            Some(91.5),
+            Some(2.8),
+        ),
+        row(
+            "ResNet-152",
+            "Deep compression",
+            Some(77.0),
+            Some(76.8),
+            Some(93.3),
+            Some(93.0),
+            Some(2.3),
+        ),
+        row(
+            "ResNet-152",
+            "CSCNN",
+            Some(77.0),
+            Some(76.9),
+            Some(93.3),
+            Some(93.1),
+            Some(1.5),
+        ),
+        row(
+            "ResNet-152",
+            "CSCNN+Pruning",
+            Some(77.0),
+            Some(76.6),
+            Some(93.3),
+            Some(92.8),
+            Some(2.7),
+        ),
+        row(
+            "ShuffleNet-V2",
+            "Deep compression",
+            Some(77.2),
+            Some(76.7),
+            Some(93.3),
+            Some(92.6),
+            Some(2.2),
+        ),
+        row(
+            "ShuffleNet-V2",
+            "CSCNN",
+            Some(77.2),
+            Some(76.9),
+            Some(93.3),
+            Some(92.7),
+            Some(1.8),
+        ),
+        row(
+            "ShuffleNet-V2",
+            "CSCNN+Pruning",
+            Some(77.2),
+            Some(76.5),
+            Some(93.3),
+            Some(92.4),
+            Some(3.2),
+        ),
+        row(
+            "EfficientNet-B7",
+            "Deep compression",
+            Some(84.3),
+            Some(84.0),
+            Some(97.0),
+            Some(96.8),
+            Some(3.1),
+        ),
+        row(
+            "EfficientNet-B7",
+            "CSCNN",
+            Some(84.3),
+            Some(84.1),
+            Some(97.0),
+            Some(96.8),
+            Some(1.7),
+        ),
+        row(
+            "EfficientNet-B7",
+            "CSCNN+Pruning",
+            Some(84.3),
+            Some(83.8),
+            Some(97.0),
+            Some(96.6),
+            Some(4.3),
+        ),
     ]
 }
 

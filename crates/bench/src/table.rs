@@ -67,12 +67,14 @@ impl Table {
 
 /// Formats an optional factor like `2.8x` or `-`.
 pub fn fmt_factor(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:.1}x")).unwrap_or_else(|| "-".to_string())
+    v.map(|x| format!("{x:.1}x"))
+        .unwrap_or_else(|| "-".to_string())
 }
 
 /// Formats an optional percentage like `88.5` or `-`.
 pub fn fmt_pct(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".to_string())
+    v.map(|x| format!("{x:.1}"))
+        .unwrap_or_else(|| "-".to_string())
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@ use std::process::ExitCode;
 
 use cscnn::models::{catalog, CompressionScheme, ModelCompression};
 use cscnn::sim::area::PeArea;
-use cscnn::sim::{baselines, export, trace, Accelerator, ArchConfig, CartesianAccelerator, Runner, RunStats};
+use cscnn::sim::{
+    baselines, export, trace, Accelerator, ArchConfig, CartesianAccelerator, RunStats, Runner,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,9 +83,16 @@ fn cmd_compress(args: &[String]) -> ExitCode {
         eprintln!("usage: cscnn compress <model>");
         return ExitCode::FAILURE;
     };
-    println!("{}: {} layers, {:.2} GMACs dense\n", model.name, model.layers.len(),
-        model.dense_mults() as f64 / 1e9);
-    println!("{:<18} {:>10} {:>12}", "scheme", "mult red.", "weight comp.");
+    println!(
+        "{}: {} layers, {:.2} GMACs dense\n",
+        model.name,
+        model.layers.len(),
+        model.dense_mults() as f64 / 1e9
+    );
+    println!(
+        "{:<18} {:>10} {:>12}",
+        "scheme", "mult red.", "weight comp."
+    );
     for scheme in [
         CompressionScheme::Dense,
         CompressionScheme::DeepCompression,
@@ -153,7 +162,8 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 };
                 config = match std::fs::read_to_string(path)
                     .map_err(|e| e.to_string())
-                    .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+                    .and_then(|s| cscnn_json::from_str::<ArchConfig>(&s).map_err(|e| e.to_string()))
+                    .and_then(|c| c.validate().map(|()| c).map_err(|e| e.to_string()))
                 {
                     Ok(c) => Some(c),
                     Err(e) => {
@@ -202,7 +212,10 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 "CSCNN" => Box::new(CartesianAccelerator::cscnn().with_config(cfg.clone())),
                 "SCNN" => Box::new(CartesianAccelerator::scnn().with_config(cfg.clone())),
                 _ => {
-                    eprintln!("--config applies to SCNN/CSCNN; {} uses its defaults", acc.name());
+                    eprintln!(
+                        "--config applies to SCNN/CSCNN; {} uses its defaults",
+                        acc.name()
+                    );
                     runner.run_model(acc.as_ref(), &model);
                     continue;
                 }
@@ -241,7 +254,10 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
     }
     if let Some(path) = trace_path {
         match trace::write_chrome_trace(&runs, &path) {
-            Ok(()) => println!("Chrome trace written to {} (open in chrome://tracing)", path.display()),
+            Ok(()) => println!(
+                "Chrome trace written to {} (open in chrome://tracing)",
+                path.display()
+            ),
             Err(e) => {
                 eprintln!("failed to write {}: {e}", path.display());
                 return ExitCode::FAILURE;

@@ -10,7 +10,7 @@
 use cscnn_models::{LayerDesc, ModelDesc, SparsityProfile};
 use cscnn_nn::datasets::SyntheticImages;
 use cscnn_nn::{Conv2d, Linear, Network};
-use cscnn_sim::{Accelerator, Runner, RunStats};
+use cscnn_sim::{Accelerator, RunStats, Runner};
 use cscnn_tensor::Tensor;
 
 /// Activation magnitude below which a value counts as zero when measuring
@@ -24,11 +24,7 @@ const ZERO_EPS: f32 = 1e-9;
 ///
 /// Panics if the network contains a weight-bearing layer the bridge does
 /// not recognize, or if a forward pass fails shape checks.
-pub fn describe_network(
-    net: &mut Network,
-    name: &str,
-    input: (usize, usize, usize),
-) -> ModelDesc {
+pub fn describe_network(net: &mut Network, name: &str, input: (usize, usize, usize)) -> ModelDesc {
     let (c, h, w) = input;
     // One tiny forward pass records each layer's input shape.
     let mut shapes: Vec<Vec<usize>> = Vec::new();
@@ -97,8 +93,9 @@ pub fn measure_profile(net: &mut Network, data: &SyntheticImages, batch: usize) 
                 }
                 weight_density.push(nnz as f64 / (k * c * unique.len()) as f64);
             } else {
-                weight_density
-                    .push(wv.iter().filter(|x| x.abs() > ZERO_EPS).count() as f64 / wv.len() as f64);
+                weight_density.push(
+                    wv.iter().filter(|x| x.abs() > ZERO_EPS).count() as f64 / wv.len() as f64,
+                );
             }
         } else if let Some(linear) = layer.as_any_mut().downcast_mut::<Linear>() {
             let wv = linear.weight().value.as_slice();
@@ -144,7 +141,11 @@ mod tests {
         assert_eq!(desc.layers[0].c, 1);
         assert_eq!(desc.layers[0].k, 8);
         assert_eq!((desc.layers[0].h, desc.layers[0].w), (16, 16));
-        assert_eq!((desc.layers[1].h, desc.layers[1].w), (8, 8), "after pooling");
+        assert_eq!(
+            (desc.layers[1].h, desc.layers[1].w),
+            (8, 8),
+            "after pooling"
+        );
         assert_eq!(desc.layers[2].kind, cscnn_models::LayerKind::FullyConnected);
         assert_eq!(desc.layers[2].c, 16 * 4 * 4);
     }
@@ -199,14 +200,7 @@ mod tests {
         for conv in net.conv_layers_mut() {
             pruning::prune_conv(conv, 0.5);
         }
-        let dcnn = simulate_trained(
-            &mut net,
-            "tiny",
-            (1, 16, 16),
-            &test,
-            &baselines::dcnn(),
-            7,
-        );
+        let dcnn = simulate_trained(&mut net, "tiny", (1, 16, 16), &test, &baselines::dcnn(), 7);
         let cscnn = simulate_trained(
             &mut net,
             "tiny",

@@ -113,7 +113,8 @@ fn conv_on_dataflow(conv: &mut Conv2d, input: &Tensor, mults_out: &mut u64) -> T
         }
         channels.push(ChannelFibers { weights, acts });
     }
-    let result = simulate_detailed(&geo, &channels);
+    let result = simulate_detailed(&geo, &channels)
+        .expect("fibers are built from the layer's own dims, so they are in range");
     *mults_out += result.counters.mults;
     // Crop the halo-extended full-mode planes to the layer's padded output
     // and add the bias: out(oy, ox) = acc(oy + R-1-p, ox + S-1-p).

@@ -6,7 +6,7 @@ use cscnn_nn::datasets::SyntheticImages;
 use cscnn_nn::pruning::{self, PruneConfig};
 use cscnn_nn::trainer::{evaluate, TrainConfig, Trainer};
 use cscnn_nn::Network;
-use cscnn_sim::{geomean, Runner, RunStats};
+use cscnn_sim::{geomean, RunStats, Runner};
 
 /// Results of the end-to-end algorithm pipeline (paper Fig. 2).
 #[derive(Clone, Debug)]
@@ -179,8 +179,7 @@ mod tests {
             lr: 0.05,
             ..Default::default()
         };
-        let report =
-            CompressionPipeline::new(cfg).run(net, &data, &[(8, 8), (4, 4)]);
+        let report = CompressionPipeline::new(cfg).run(net, &data, &[(8, 8), (4, 4)]);
         assert!(report.baseline_accuracy > 0.55, "baseline should learn");
         assert!(
             report.retrained_accuracy > report.post_projection_accuracy - 0.05,

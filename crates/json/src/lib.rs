@@ -1,0 +1,944 @@
+//! Minimal, std-only JSON for the CSCNN workspace.
+//!
+//! The simulator's exports (reports, Chrome traces, roofline data) and its
+//! config ingestion need exactly one serialization format, and the build
+//! environment is fully offline, so this crate provides the small subset of
+//! JSON machinery the workspace uses with zero dependencies:
+//!
+//! - [`Value`]: an ordered-keys JSON document model (insertion order is
+//!   preserved so exports are byte-stable run to run — part of the repo's
+//!   determinism contract).
+//! - [`to_string`] / [`to_string_pretty`]: serialization of any [`ToJson`]
+//!   type.
+//! - [`from_str`]: strict recursive-descent parsing into any [`FromJson`]
+//!   type (including [`Value`] itself).
+//! - [`impl_to_json!`] / [`impl_from_json!`]: field-list macros replacing
+//!   the former `serde` derives for plain structs.
+//!
+//! The function names deliberately mirror `serde_json` so call sites read
+//! the same as before the workspace went dependency-free.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A parsed or constructed JSON document.
+///
+/// Numbers keep their original flavor (`U64`/`I64`/`F64`) so integer
+/// counters survive a round trip exactly. Object keys keep insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A number with a fractional part or exponent.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The element at `idx`, if this is an array long enough.
+    pub fn get_idx(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Arr(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (any number flavor).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64` (exact integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(n) => i64::try_from(n).ok(),
+            Value::I64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object view (key/value pairs in insertion order).
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.get_idx(idx).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+macro_rules! impl_int_eq {
+    ($($t:ty),+) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64().is_some_and(|n| i64::try_from(*other).is_ok_and(|o| n == o))
+                    || self.as_u64().is_some_and(|n| u64::try_from(*other).is_ok_and(|o| n == o))
+            }
+        }
+    )+};
+}
+
+impl_int_eq!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A parse or conversion failure, with a byte offset when parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    at: Option<usize>,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            at: None,
+        }
+    }
+
+    fn at(msg: impl Into<String>, pos: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            at: Some(pos),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(pos) => write!(f, "{} at byte {}", self.msg, pos),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+/// Conversion into a JSON [`Value`]. Implement via [`impl_to_json!`] for
+/// plain structs, or by hand when field names differ from JSON keys.
+pub trait ToJson {
+    /// Builds the JSON document model for `self`.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+macro_rules! impl_to_json_uint {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )+};
+}
+
+impl_to_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_to_json_int {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+    )+};
+}
+
+impl_to_json_int!(i8, i16, i32, i64);
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+/// Serializes to compact JSON (no whitespace).
+///
+/// The `Result` return mirrors the `serde_json` signature; with this
+/// crate's document model serialization itself cannot fail.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty JSON (2-space indent), matching the layout the
+/// workspace's exports used under `cscnn_json::to_string_pretty`.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::I64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::F64(n) => write_f64(out, *n),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => write_seq(out, indent, depth, items.len(), '[', ']', |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Obj(pairs) => write_seq(out, indent, depth, pairs.len(), '{', '}', |out, i| {
+            let (k, v) = &pairs[i];
+            write_escaped(out, k);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, v, indent, depth + 1);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..step * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..step * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; `null` is the conventional stand-in.
+        out.push_str("null");
+        return;
+    }
+    let s = n.to_string();
+    out.push_str(&s);
+    // `Display` for a whole float prints no fractional part ("4"); keep the
+    // number flavor visible so a round trip stays a float.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------------
+
+/// Conversion out of a JSON [`Value`]. Implement via [`impl_from_json!`]
+/// for plain structs.
+pub trait FromJson: Sized {
+    /// Reads `Self` from the document model.
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::new("expected a boolean"))
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::new("expected a string"))
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::new("expected a number"))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        f64::from_json(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! impl_from_json_uint {
+    ($($t:ty),+) => {$(
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::new("expected a non-negative integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::new(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )+};
+}
+
+impl_from_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_from_json_int {
+    ($($t:ty),+) => {$(
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::new("expected an integer"))?;
+                <$t>::try_from(n).map_err(|_| Error::new(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )+};
+}
+
+impl_from_json_int!(i8, i16, i32, i64, isize);
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::new("expected an array"))?;
+        items.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_json(v).map(Some)
+        }
+    }
+}
+
+/// Parses a JSON document into any [`FromJson`] type (commonly [`Value`]).
+/// Strict: rejects trailing garbage, unterminated literals, and bad
+/// escapes, with a byte offset in the error.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at("trailing characters", p.pos));
+    }
+    T::from_json(&v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(format!("expected '{}'", b as char), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::at("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::at(format!("expected '{word}'"), self.pos))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(Error::at("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(Error::at("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::at("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::at("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => out.push(self.parse_unicode_escape()?),
+                        _ => return Err(Error::at("invalid escape", self.pos - 1)),
+                    }
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character (input is &str, so
+                    // the byte stream is valid UTF-8 by construction).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| (b & 0xc0) == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::at("invalid UTF-8", start))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, Error> {
+        let hex = |p: &mut Self| -> Result<u32, Error> {
+            let start = p.pos;
+            let slice = p
+                .bytes
+                .get(p.pos..p.pos + 4)
+                .ok_or_else(|| Error::at("truncated \\u escape", start))?;
+            let s = std::str::from_utf8(slice).map_err(|_| Error::at("bad \\u escape", start))?;
+            let n = u32::from_str_radix(s, 16).map_err(|_| Error::at("bad \\u escape", start))?;
+            p.pos += 4;
+            Ok(n)
+        };
+        let first = hex(self)?;
+        // Surrogate pair handling for characters outside the BMP.
+        if (0xd800..0xdc00).contains(&first) {
+            if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                return Err(Error::at("unpaired surrogate", self.pos));
+            }
+            self.pos += 2;
+            let second = hex(self)?;
+            if !(0xdc00..0xe000).contains(&second) {
+                return Err(Error::at("invalid low surrogate", self.pos));
+            }
+            let code = 0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
+            char::from_u32(code).ok_or_else(|| Error::at("invalid surrogate pair", self.pos))
+        } else {
+            char::from_u32(first).ok_or_else(|| Error::at("invalid \\u escape", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at("bad number", start))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::at("bad number", start))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Struct impl macros (the derive replacements)
+// ---------------------------------------------------------------------------
+
+/// Implements [`ToJson`] for a plain struct by listing its fields; each
+/// becomes an object key of the same name, in the listed order:
+///
+/// ```
+/// struct Point { x: f64, y: f64 }
+/// cscnn_json::impl_to_json!(Point { x, y });
+/// let json = cscnn_json::to_string(&Point { x: 1.0, y: 2.0 }).unwrap();
+/// assert_eq!(json, r#"{"x":1.0,"y":2.0}"#);
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Obj(vec![
+                    $((
+                        stringify!($field).to_owned(),
+                        $crate::ToJson::to_json(&self.$field),
+                    ),)+
+                ])
+            }
+        }
+    };
+}
+
+/// Implements [`FromJson`] for a plain struct by listing its fields; every
+/// field must be present in the object (strict, like the former `serde`
+/// derive without defaults):
+///
+/// ```
+/// #[derive(PartialEq, Debug)]
+/// struct Point { x: f64, y: f64 }
+/// cscnn_json::impl_from_json!(Point { x, y });
+/// let p: Point = cscnn_json::from_str(r#"{"x":1.0,"y":2.0}"#).unwrap();
+/// assert_eq!(p, Point { x: 1.0, y: 2.0 });
+/// ```
+#[macro_export]
+macro_rules! impl_from_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok(Self {
+                    $($field: $crate::FromJson::from_json(
+                        v.get(stringify!($field)).ok_or_else(|| {
+                            $crate::Error::missing_field(stringify!($field))
+                        })?,
+                    )?,)+
+                })
+            }
+        }
+    };
+}
+
+impl Error {
+    /// Error for a struct field absent from the JSON object (used by
+    /// [`impl_from_json!`]).
+    pub fn missing_field(name: &str) -> Self {
+        Error::new(format!("missing field '{name}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "42", "-7", "3.25", "1e3"] {
+            let v: Value = from_str(text).expect(text);
+            let back = to_string(&v).unwrap();
+            let v2: Value = from_str(&back).expect(&back);
+            assert_eq!(v, v2, "round trip of {text}");
+        }
+        assert_eq!(from_str::<Value>("42").unwrap(), Value::U64(42));
+        assert_eq!(from_str::<Value>("-7").unwrap(), Value::I64(-7));
+        assert_eq!(from_str::<Value>("1e3").unwrap(), Value::F64(1000.0));
+    }
+
+    #[test]
+    fn number_flavors_are_preserved() {
+        assert_eq!(to_string(&Value::U64(4)).unwrap(), "4");
+        assert_eq!(to_string(&Value::F64(4.0)).unwrap(), "4.0");
+        assert_eq!(to_string(&Value::F64(0.125)).unwrap(), "0.125");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = "a\"b\\c\nd\te\u{08}\u{0c}\u{1}ü∀";
+        let json = to_string(&original).unwrap();
+        let back: Value = from_str(&json).unwrap();
+        assert_eq!(back.as_str(), Some(original));
+        let v: Value = from_str(r#""\u0041\u00fc\ud834\udd1e""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aü𝄞"));
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v: Value = from_str(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"z":1,"a":2,"m":3}"#);
+    }
+
+    #[test]
+    fn indexing_and_comparisons_work() {
+        let v: Value = from_str(r#"[{"name":"pe0","tid":0,"ts":1.5}]"#).unwrap();
+        assert_eq!(v[0]["name"], "pe0");
+        assert!(v[0]["tid"] == 0);
+        assert_eq!(v[0]["ts"].as_f64(), Some(1.5));
+        assert!(v[0]["missing"].is_null());
+        assert!(v[7].is_null());
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v: Value = from_str(r#"{"a":[1,2],"b":{}}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {}\n}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"abc",
+            "{\"a\"1}",
+            "1 2",
+            "[1 2]",
+            "nulll",
+            "+1",
+            "--3",
+            "\"\\q\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn struct_macros_round_trip() {
+        #[derive(Debug, PartialEq)]
+        struct Cfg {
+            pes: usize,
+            rate: f64,
+            label: String,
+        }
+        impl_to_json!(Cfg { pes, rate, label });
+        impl_from_json!(Cfg { pes, rate, label });
+        let cfg = Cfg {
+            pes: 64,
+            rate: 0.5,
+            label: "paper".to_owned(),
+        };
+        let json = to_string(&cfg).unwrap();
+        assert_eq!(json, r#"{"pes":64,"rate":0.5,"label":"paper"}"#);
+        let back: Cfg = from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        let err = from_str::<Cfg>(r#"{"pes":64,"rate":0.5}"#).unwrap_err();
+        assert!(err.to_string().contains("label"), "{err}");
+    }
+
+    #[test]
+    fn integers_accept_cross_flavor_reads() {
+        // A config hand-written with "cycle_time": 1 (integer) must still
+        // read into an f64 field.
+        assert_eq!(f64::from_json(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(u64::from_json(&Value::I64(3)).unwrap(), 3);
+        assert!(u64::from_json(&Value::I64(-3)).is_err());
+        assert!(u8::from_json(&Value::U64(300)).is_err());
+    }
+}

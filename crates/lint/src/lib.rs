@@ -1,0 +1,618 @@
+//! `cscnn-lint` — a workspace invariant linter for the CSCNN reproduction.
+//!
+//! The simulator's credibility rests on its cycle/byte/energy accounting
+//! being exact and its runs being replayable. This crate enforces those
+//! properties statically, with repo-specific rules that `clippy` cannot
+//! express (see `docs/static_analysis.md` for the rationale of each rule):
+//!
+//! 1. `no-narrowing-cast` — bare `as <int>` casts are forbidden in
+//!    `crates/sim/src` and `crates/sparse/src`; conversions go through the
+//!    checked helpers in `cscnn_sim::util` / `cscnn_sparse::cast`.
+//! 2. `no-panic-in-hot-path` — `.unwrap()` / `.expect(` / `panic!` are
+//!    forbidden in the PE, DRAM, baseline and tensor-kernel hot paths;
+//!    those paths return typed errors (`assert!` remains available for
+//!    contract checks).
+//! 3. `seeded-rng-only` — `thread_rng(`, `from_entropy(` and
+//!    `SystemTime::now` are forbidden everywhere: every simulation run must
+//!    be reproducible from its seed.
+//! 4. `deterministic-sum` — unordered `.sum::<f32>()` / `.sum::<f64>()`
+//!    is forbidden in the energy/report paths; fixed-order accumulation
+//!    goes through `cscnn_sim::util::det_sum`.
+//! 5. `validated-config` — every `pub` field-bearing config struct in
+//!    `sim/config.rs` must define `validate()` and reference it from a
+//!    constructor.
+//!
+//! The analysis is deliberately lexical (a comment/string-aware line
+//! scanner, not a parser): the rules are phrased so that false positives
+//! are rare, and the escape hatch is an explicit allowlist entry in
+//! `lint-allow.txt` with a justification comment — which is exactly the
+//! audit trail we want for every exception.
+//!
+//! Code after the first `#[cfg(test)]` line of a file is exempt from all
+//! rules: test modules sit at the bottom of each file by repo convention,
+//! and tests may unwrap/panic freely.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Maximum number of allowlist entries; more than this means the lint has
+/// stopped being enforced and the allowlist has become a second rulebook.
+pub const MAX_ALLOWLIST_ENTRIES: usize = 15;
+
+/// Names of every rule, in diagnostic order.
+pub const RULES: [&str; 5] = [
+    "no-narrowing-cast",
+    "no-panic-in-hot-path",
+    "seeded-rng-only",
+    "deterministic-sum",
+    "validated-config",
+];
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Parsed `lint-allow.txt`: `path:rule` entries that suppress diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+}
+
+/// A malformed allowlist is a hard error (a silently ignored entry would
+/// un-suppress or over-suppress without anyone noticing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowlistError(pub String);
+
+impl fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allowlist error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AllowlistError {}
+
+impl Allowlist {
+    /// Parses allowlist text: one `path:rule` per line, `#` comments and
+    /// blank lines ignored. Every entry must name a known rule, and the
+    /// total must not exceed [`MAX_ALLOWLIST_ENTRIES`].
+    pub fn parse(text: &str) -> Result<Self, AllowlistError> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((path, rule)) = line.rsplit_once(':') else {
+                return Err(AllowlistError(format!(
+                    "line {}: expected `path:rule`, got `{line}`",
+                    i + 1
+                )));
+            };
+            if !RULES.contains(&rule) {
+                return Err(AllowlistError(format!(
+                    "line {}: unknown rule `{rule}` (known: {})",
+                    i + 1,
+                    RULES.join(", ")
+                )));
+            }
+            entries.push((path.trim().to_string(), rule.to_string()));
+        }
+        if entries.len() > MAX_ALLOWLIST_ENTRIES {
+            return Err(AllowlistError(format!(
+                "{} entries exceed the {MAX_ALLOWLIST_ENTRIES}-entry budget; \
+                 fix violations instead of allowlisting them",
+                entries.len()
+            )));
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// True if diagnostics of `rule` in `file` are suppressed.
+    pub fn allows(&self, file: &str, rule: &str) -> bool {
+        self.entries.iter().any(|(p, r)| p == file && r == rule)
+    }
+
+    /// Entries that suppressed nothing in this run (stale exceptions).
+    pub fn unused<'a>(&'a self, suppressed: &[(String, &str)]) -> Vec<&'a (String, String)> {
+        self.entries
+            .iter()
+            .filter(|(p, r)| !suppressed.iter().any(|(sp, sr)| sp == p && sr == r))
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Result of linting a file set: surviving violations plus the
+/// `(file, rule)` pairs an allowlist entry actually suppressed.
+#[derive(Clone, Debug, Default)]
+pub struct LintOutcome {
+    /// Violations not covered by the allowlist.
+    pub violations: Vec<Diagnostic>,
+    /// Which `(file, rule)` pairs were suppressed (for staleness checks).
+    pub suppressed: Vec<(String, &'static str)>,
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+/// Per-file scanner state that must survive across lines.
+#[derive(Default)]
+struct ScanState {
+    /// Inside a `/* ... */` block comment (nesting tracked, as in Rust).
+    block_comment_depth: usize,
+}
+
+/// Rewrites one source line into its "code view": string/char literal
+/// contents blanked, `//` comments and `/* */` comment spans removed.
+/// Keeping the surrounding quotes lets token boundaries survive.
+fn code_view(line: &str, state: &mut ScanState) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        if state.block_comment_depth > 0 {
+            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                state.block_comment_depth -= 1;
+                i += 2;
+            } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                state.block_comment_depth += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                state.block_comment_depth += 1;
+                i += 2;
+            }
+            '"' => {
+                // Blank the literal's contents. Escapes are honoured;
+                // unterminated strings (rare multi-line literals) blank to
+                // end of line, which is conservative for every rule.
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime (`'a`) has no
+                // closing quote before a non-ident char; copy it through.
+                let rest: String = bytes[i..].iter().take(4).collect();
+                let is_char_literal = rest.len() >= 3
+                    && (bytes.get(i + 1) == Some(&'\\') || bytes.get(i + 2) == Some(&'\''));
+                if is_char_literal {
+                    out.push('\'');
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                out.push('\'');
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Splits a code-view line into identifier-ish tokens with byte positions.
+fn tokens(line: &str) -> Vec<&str> {
+    line.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+const NARROW_TARGETS: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+fn in_narrowing_scope(file: &str) -> bool {
+    file.starts_with("crates/sim/src/") || file.starts_with("crates/sparse/src/")
+}
+
+fn in_hot_path_scope(file: &str) -> bool {
+    file == "crates/sim/src/dram.rs"
+        || file.starts_with("crates/sim/src/pe")
+        || file.starts_with("crates/sim/src/baselines/")
+        || file.starts_with("crates/tensor/src/")
+}
+
+fn in_det_sum_scope(file: &str) -> bool {
+    file == "crates/sim/src/energy.rs" || file == "crates/sim/src/report.rs"
+}
+
+/// Lints one file's source. `file` is the workspace-relative path with
+/// `/` separators; it selects which rules apply.
+pub fn lint_file(file: &str, source: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut state = ScanState::default();
+    let mut in_test = false;
+    let mut code_lines: Vec<String> = Vec::with_capacity(source.lines().count());
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            in_test = true;
+        }
+        let code = code_view(raw, &mut state);
+        if in_test {
+            code_lines.push(String::new());
+            continue;
+        }
+        code_lines.push(code.clone());
+
+        // Rule 1: no-narrowing-cast.
+        if in_narrowing_scope(file) {
+            let toks = tokens(&code);
+            for pair in toks.windows(2) {
+                if pair[0] == "as" && NARROW_TARGETS.contains(&pair[1]) {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: line_no,
+                        rule: "no-narrowing-cast",
+                        message: format!(
+                            "bare `as {}` cast in accounting code; use the checked \
+                             helpers in `cscnn_sim::util` / `cscnn_sparse::cast` \
+                             (or `u64::from`/`usize::from` for widening)",
+                            pair[1]
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 2: no-panic-in-hot-path.
+        if in_hot_path_scope(file) {
+            for pat in [".unwrap()", ".expect(", "panic!"] {
+                if code.contains(pat) {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: line_no,
+                        rule: "no-panic-in-hot-path",
+                        message: format!(
+                            "`{pat}` in a simulator/kernel hot path; return a typed \
+                             error (`SimError`) instead (`assert!` is permitted for \
+                             contract checks)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 3: seeded-rng-only (all files).
+        for pat in ["thread_rng(", "from_entropy(", "SystemTime::now"] {
+            if code.contains(pat) {
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: line_no,
+                    rule: "seeded-rng-only",
+                    message: format!(
+                        "`{pat}` makes runs unreproducible; derive randomness from \
+                         an explicit seed (`StdRng::seed_from_u64`)"
+                    ),
+                });
+            }
+        }
+
+        // Rule 4: deterministic-sum.
+        if in_det_sum_scope(file) {
+            for pat in [".sum::<f32>()", ".sum::<f64>()"] {
+                if code.contains(pat) {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: line_no,
+                        rule: "deterministic-sum",
+                        message: format!(
+                            "unordered float `{pat}` in an energy/report path; use \
+                             `cscnn_sim::util::det_sum` for fixed-order, compensated \
+                             accumulation"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Rule 5: validated-config (whole-file analysis).
+    if file == "crates/sim/src/config.rs" {
+        diags.extend(check_validated_config(file, &code_lines));
+    }
+
+    diags
+}
+
+/// Rule 5: every `pub` field-bearing struct in the config file must have a
+/// `validate()` defined in its `impl` block and referenced at least once
+/// more there (the constructor's `debug_assert!(cfg.validate().is_ok())`
+/// or equivalent).
+fn check_validated_config(file: &str, code_lines: &[String]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let joined = code_lines.join("\n");
+    let mut search = 0;
+    while let Some(pos) = joined[search..].find("pub struct ") {
+        let abs = search + pos;
+        search = abs + "pub struct ".len();
+        let rest = &joined[abs + "pub struct ".len()..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let line_no = joined[..abs].matches('\n').count() + 1;
+        // Field-bearing? Look inside the struct's brace block.
+        let Some(body) = brace_block(&joined[abs..]) else {
+            continue;
+        };
+        if !body.contains("pub ") {
+            continue; // marker/newtype without public fields: out of scope
+        }
+        // Find `impl Name` and its extent (to the next top-level `impl`).
+        let impl_needle = format!("impl {name}");
+        let Some(impl_pos) = joined.find(&impl_needle) else {
+            diags.push(missing_validate(file, line_no, &name, "no `impl` block"));
+            continue;
+        };
+        let after = &joined[impl_pos + impl_needle.len()..];
+        let impl_body = match after.find("\nimpl ") {
+            Some(end) => &after[..end],
+            None => after,
+        };
+        if !impl_body.contains("fn validate(") {
+            diags.push(missing_validate(file, line_no, &name, "no `fn validate()`"));
+        } else if impl_body.matches("validate(").count() < 2 {
+            diags.push(missing_validate(
+                file,
+                line_no,
+                &name,
+                "`validate()` is never called from a constructor",
+            ));
+        }
+    }
+    diags
+}
+
+fn missing_validate(file: &str, line: usize, name: &str, why: &str) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        rule: "validated-config",
+        message: format!(
+            "config struct `{name}`: {why}; every public config must define \
+             `validate()` and call it from its constructor"
+        ),
+    }
+}
+
+/// Returns the `{ ... }` block starting at the first `{` in `s`.
+fn brace_block(s: &str) -> Option<&str> {
+    let open = s.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in s[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[open..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+/// Collects every `.rs` file under `crates/*/src` and `tests/`, as
+/// workspace-relative `/`-separated paths, sorted for stable output.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                walk_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let tests_dir = root.join("tests");
+    if tests_dir.is_dir() {
+        walk_rs(&tests_dir, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root` against `allow`.
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<LintOutcome> {
+    let mut outcome = LintOutcome::default();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = fs::read_to_string(&path)?;
+        for diag in lint_file(&rel, &source) {
+            if allow.allows(&diag.file, diag.rule) {
+                let pair = (diag.file.clone(), diag.rule);
+                if !outcome.suppressed.contains(&pair) {
+                    outcome.suppressed.push(pair);
+                }
+            } else {
+                outcome.violations.push(diag);
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+/// Renders diagnostics as a JSON object (hand-rolled: this crate is
+/// dependency-free so the lint gate can never fail to build).
+pub fn to_json(violations: &[Diagnostic]) -> String {
+    let mut s = String::from("{\"violations\":[");
+    for (i, d) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            json_escape(d.rule),
+            json_escape(&d.message)
+        ));
+    }
+    s.push_str(&format!("],\"count\":{}}}", violations.len()));
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_view_strips_comments_and_strings() {
+        let mut st = ScanState::default();
+        assert_eq!(code_view("let x = 1; // as u32", &mut st), "let x = 1; ");
+        assert_eq!(code_view("let s = \"as u32\";", &mut st), "let s = \"\";");
+        assert_eq!(code_view("a /* as u32 */ b", &mut st), "a  b");
+        // Block comments span lines.
+        assert_eq!(code_view("x /* open", &mut st), "x ");
+        assert_eq!(code_view("still closed */ y as u8", &mut st), " y as u8");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let mut st = ScanState::default();
+        let v = code_view("fn f<'a>(x: &'a str) -> &'a str { x }", &mut st);
+        assert!(v.contains("'a"), "{v}");
+    }
+
+    #[test]
+    fn allowlist_rejects_unknown_rules_and_oversize() {
+        assert!(Allowlist::parse("a.rs:not-a-rule").is_err());
+        let big: String = (0..16)
+            .map(|i| format!("f{i}.rs:seeded-rng-only\n"))
+            .collect();
+        assert!(Allowlist::parse(&big).is_err());
+        let ok = Allowlist::parse("# why\ncrates/sim/src/util.rs:no-narrowing-cast\n")
+            .expect("valid allowlist");
+        assert_eq!(ok.len(), 1);
+        assert!(ok.allows("crates/sim/src/util.rs", "no-narrowing-cast"));
+        assert!(!ok.allows("crates/sim/src/util.rs", "seeded-rng-only"));
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let d = Diagnostic {
+            file: "a\"b.rs".into(),
+            line: 3,
+            rule: "seeded-rng-only",
+            message: "tab\there".into(),
+        };
+        let j = to_json(&[d]);
+        assert!(j.contains("\\\""));
+        assert!(j.contains("\\t"));
+        assert!(j.ends_with("\"count\":1}"));
+    }
+}

@@ -1,0 +1,158 @@
+//! `cscnn-lint` CLI: lint the workspace and report violations.
+//!
+//! ```text
+//! cargo run -p cscnn-lint [-- --format json] [--root PATH] [--allowlist PATH]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cscnn_lint::{lint_workspace, to_json, Allowlist};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = "human".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some(f @ ("human" | "json")) => format = f.to_string(),
+                    _ => return usage("--format needs `human` or `json`"),
+                }
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => return usage("--root needs a path"),
+                }
+            }
+            "--allowlist" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => allow_path = Some(PathBuf::from(p)),
+                    None => return usage("--allowlist needs a path"),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "cscnn-lint: workspace invariant linter\n\n\
+                     usage: cscnn-lint [--format human|json] [--root PATH] [--allowlist PATH]\n\n\
+                     Rules and rationale: docs/static_analysis.md"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("cscnn-lint: could not find the workspace root (no Cargo.toml with [workspace] above the current directory); pass --root");
+            return ExitCode::from(2);
+        }
+    };
+    // A root with no manifest would scan zero files and report "clean";
+    // refuse it so a typo'd --root cannot silently pass.
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "cscnn-lint: {} has no Cargo.toml; not a workspace root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint-allow.txt"));
+    let allow = if allow_path.is_file() {
+        let text = match std::fs::read_to_string(&allow_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cscnn-lint: cannot read {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("cscnn-lint: {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let outcome = match lint_workspace(&root, &allow) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!(
+                "cscnn-lint: I/O error while scanning {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        println!("{}", to_json(&outcome.violations));
+    } else {
+        for d in &outcome.violations {
+            println!("{d}");
+        }
+        for (path, rule) in allow.unused(&outcome.suppressed) {
+            eprintln!(
+                "cscnn-lint: warning: stale allowlist entry `{path}:{rule}` suppressed nothing"
+            );
+        }
+        if outcome.violations.is_empty() {
+            println!(
+                "cscnn-lint: clean ({} allowlist entr{} in effect)",
+                outcome.suppressed.len(),
+                if outcome.suppressed.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            );
+        } else {
+            eprintln!("cscnn-lint: {} violation(s)", outcome.violations.len());
+        }
+    }
+
+    if outcome.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cscnn-lint: {msg}\nusage: cscnn-lint [--format human|json] [--root PATH] [--allowlist PATH]");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

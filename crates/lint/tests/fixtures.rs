@@ -1,0 +1,235 @@
+//! Fixture tests for every `cscnn-lint` rule, plus the keystone test that
+//! the real workspace passes with the committed allowlist.
+//!
+//! Each fixture is a small source snippet handed to `lint_file` under a
+//! path that puts it in the rule's scope; the paired negative fixture
+//! shows the approved alternative not firing.
+
+use std::path::Path;
+
+use cscnn_lint::{lint_file, lint_workspace, Allowlist};
+
+fn rules_fired(file: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint_file(file, src).into_iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+// --- Rule 1: no-narrowing-cast ------------------------------------------
+
+#[test]
+fn narrowing_cast_fires_in_sim_scope() {
+    let src = "fn f(x: usize) -> u32 { x as u32 }\n";
+    let diags = lint_file("crates/sim/src/pe.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "no-narrowing-cast"),
+        "{diags:?}"
+    );
+    assert_eq!(
+        diags
+            .iter()
+            .find(|d| d.rule == "no-narrowing-cast")
+            .map(|d| d.line),
+        Some(1)
+    );
+}
+
+#[test]
+fn narrowing_cast_exempts_floats_tests_comments_and_other_crates() {
+    // `as f64` is the approved way to enter float arithmetic.
+    assert!(rules_fired("crates/sim/src/pe.rs", "let y = x as f64;\n").is_empty());
+    // Casts inside the trailing test module are fine.
+    let test_mod = "#[cfg(test)]\nmod tests { fn g(x: usize) { let _ = x as u8; } }\n";
+    assert!(rules_fired("crates/sim/src/pe.rs", test_mod).is_empty());
+    // Comments and strings never fire.
+    assert!(rules_fired("crates/sim/src/pe.rs", "// x as u32\nlet s = \"as u32\";\n").is_empty());
+    // The nn crate is out of rule-1 scope.
+    assert!(rules_fired("crates/nn/src/layers.rs", "let y = x as u32;\n").is_empty());
+}
+
+// --- Rule 2: no-panic-in-hot-path ---------------------------------------
+
+#[test]
+fn panic_in_hot_path_fires() {
+    for pat in [
+        "let v = m.get(&k).unwrap();",
+        "let v = m.get(&k).expect(\"k\");",
+        "panic!(\"boom\")",
+    ] {
+        let src = format!("fn f() {{ {pat} }}\n");
+        assert_eq!(
+            rules_fired("crates/sim/src/pe_detailed.rs", &src),
+            vec!["no-panic-in-hot-path"],
+            "{pat}"
+        );
+        assert_eq!(
+            rules_fired("crates/tensor/src/conv.rs", &src),
+            vec!["no-panic-in-hot-path"],
+            "{pat}"
+        );
+    }
+}
+
+#[test]
+fn asserts_and_cold_paths_do_not_fire() {
+    // `assert!` is explicitly permitted for contract checks.
+    let src = "fn f(x: usize) { assert!(x > 0, \"x\"); }\n";
+    assert!(rules_fired("crates/sim/src/dram.rs", src).is_empty());
+    // `unwrap_or` is not `unwrap()`.
+    assert!(rules_fired("crates/sim/src/pe.rs", "let y = o.unwrap_or(0);\n").is_empty());
+    // config.rs is not a hot path.
+    assert!(rules_fired("crates/sim/src/report.rs", "let y = o.unwrap();\n").is_empty());
+}
+
+// --- Rule 3: seeded-rng-only --------------------------------------------
+
+#[test]
+fn unseeded_rng_fires_everywhere() {
+    for pat in [
+        "let mut r = thread_rng();",
+        "let r = StdRng::from_entropy();",
+        "let t = SystemTime::now();",
+    ] {
+        let src = format!("fn f() {{ {pat} }}\n");
+        // Fires even in crates with no other rules in scope.
+        assert_eq!(
+            rules_fired("crates/nn/src/trainer.rs", &src),
+            vec!["seeded-rng-only"],
+            "{pat}"
+        );
+        assert_eq!(
+            rules_fired("tests/integration_sim.rs", &src),
+            vec!["seeded-rng-only"],
+            "{pat}"
+        );
+    }
+}
+
+#[test]
+fn seeded_rng_does_not_fire() {
+    let src = "let mut r = StdRng::seed_from_u64(42);\nlet t = Instant::now();\n";
+    assert!(rules_fired("crates/nn/src/trainer.rs", src).is_empty());
+}
+
+// --- Rule 4: deterministic-sum ------------------------------------------
+
+#[test]
+fn float_sum_fires_in_energy_and_report() {
+    let src = "fn f(v: &[f64]) -> f64 { v.iter().copied().sum::<f64>() }\n";
+    assert_eq!(
+        rules_fired("crates/sim/src/energy.rs", src),
+        vec!["deterministic-sum"]
+    );
+    let src32 = "fn f(v: &[f32]) -> f32 { v.iter().copied().sum::<f32>() }\n";
+    assert_eq!(
+        rules_fired("crates/sim/src/report.rs", src32),
+        vec!["deterministic-sum"]
+    );
+}
+
+#[test]
+fn integer_sums_and_other_files_are_exempt() {
+    // Integer summation is associative: order cannot change the result.
+    let src = "fn f(v: &[u64]) -> u64 { v.iter().copied().sum::<u64>() }\n";
+    assert!(rules_fired("crates/sim/src/energy.rs", src).is_empty());
+    // Float sums outside the energy/report accounting are out of scope.
+    let f = "fn f(v: &[f64]) -> f64 { v.iter().copied().sum::<f64>() }\n";
+    assert!(rules_fired("crates/sim/src/roofline.rs", f).is_empty());
+}
+
+// --- Rule 5: validated-config -------------------------------------------
+
+#[test]
+fn config_struct_without_validate_fires() {
+    let src = "\
+pub struct BadConfig {
+    pub knob: usize,
+}
+
+impl BadConfig {
+    pub fn new() -> Self {
+        BadConfig { knob: 1 }
+    }
+}
+";
+    let diags = lint_file("crates/sim/src/config.rs", src);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "validated-config" && d.message.contains("BadConfig")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn config_struct_with_unreferenced_validate_fires() {
+    let src = "\
+pub struct HalfConfig {
+    pub knob: usize,
+}
+
+impl HalfConfig {
+    pub fn new() -> Self {
+        HalfConfig { knob: 1 }
+    }
+    pub fn validate(&self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+";
+    let diags = lint_file("crates/sim/src/config.rs", src);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "validated-config" && d.message.contains("never called")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn config_struct_with_wired_validate_passes() {
+    let src = "\
+pub struct GoodConfig {
+    pub knob: usize,
+}
+
+impl GoodConfig {
+    pub fn new() -> Self {
+        let cfg = GoodConfig { knob: 1 };
+        debug_assert!(cfg.validate().is_ok());
+        cfg
+    }
+    pub fn validate(&self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+";
+    assert!(rules_fired("crates/sim/src/config.rs", src).is_empty());
+}
+
+// --- Keystone: the real workspace is clean ------------------------------
+
+#[test]
+fn real_workspace_passes_with_committed_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let allow_text = std::fs::read_to_string(root.join("lint-allow.txt"))
+        .expect("lint-allow.txt at the workspace root");
+    let allow = Allowlist::parse(&allow_text).expect("committed allowlist parses");
+    let outcome = lint_workspace(root, &allow).expect("workspace scan");
+    assert!(
+        outcome.violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        outcome
+            .violations
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every committed allowlist entry must still be load-bearing.
+    let stale = allow.unused(&outcome.suppressed);
+    assert!(stale.is_empty(), "stale allowlist entries: {stale:?}");
+}

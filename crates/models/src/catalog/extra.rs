@@ -21,11 +21,41 @@ fn inception(
 ) -> usize {
     let n = |part: &str| format!("{name}/{part}");
     layers.push(LayerDesc::conv(&n("1x1"), cin, c1, 1, 1, hw, hw, 1, 0));
-    layers.push(LayerDesc::conv(&n("3x3_reduce"), cin, c3r, 1, 1, hw, hw, 1, 0));
+    layers.push(LayerDesc::conv(
+        &n("3x3_reduce"),
+        cin,
+        c3r,
+        1,
+        1,
+        hw,
+        hw,
+        1,
+        0,
+    ));
     layers.push(LayerDesc::conv(&n("3x3"), c3r, c3, 3, 3, hw, hw, 1, 1));
-    layers.push(LayerDesc::conv(&n("5x5_reduce"), cin, c5r, 1, 1, hw, hw, 1, 0));
+    layers.push(LayerDesc::conv(
+        &n("5x5_reduce"),
+        cin,
+        c5r,
+        1,
+        1,
+        hw,
+        hw,
+        1,
+        0,
+    ));
     layers.push(LayerDesc::conv(&n("5x5"), c5r, c5, 5, 5, hw, hw, 1, 2));
-    layers.push(LayerDesc::conv(&n("pool_proj"), cin, pool_proj, 1, 1, hw, hw, 1, 0));
+    layers.push(LayerDesc::conv(
+        &n("pool_proj"),
+        cin,
+        pool_proj,
+        1,
+        1,
+        hw,
+        hw,
+        1,
+        0,
+    ));
     c1 + c3 + c5 + pool_proj
 }
 
@@ -41,16 +71,93 @@ pub fn googlenet() -> ModelDesc {
     ];
     let mut c = 192;
     c = inception(&mut layers, "inception_3a", c, 64, 96, 128, 16, 32, 32, 28);
-    c = inception(&mut layers, "inception_3b", c, 128, 128, 192, 32, 96, 64, 28);
+    c = inception(
+        &mut layers,
+        "inception_3b",
+        c,
+        128,
+        128,
+        192,
+        32,
+        96,
+        64,
+        28,
+    );
     // maxpool → 14
     c = inception(&mut layers, "inception_4a", c, 192, 96, 208, 16, 48, 64, 14);
-    c = inception(&mut layers, "inception_4b", c, 160, 112, 224, 24, 64, 64, 14);
-    c = inception(&mut layers, "inception_4c", c, 128, 128, 256, 24, 64, 64, 14);
-    c = inception(&mut layers, "inception_4d", c, 112, 144, 288, 32, 64, 64, 14);
-    c = inception(&mut layers, "inception_4e", c, 256, 160, 320, 32, 128, 128, 14);
+    c = inception(
+        &mut layers,
+        "inception_4b",
+        c,
+        160,
+        112,
+        224,
+        24,
+        64,
+        64,
+        14,
+    );
+    c = inception(
+        &mut layers,
+        "inception_4c",
+        c,
+        128,
+        128,
+        256,
+        24,
+        64,
+        64,
+        14,
+    );
+    c = inception(
+        &mut layers,
+        "inception_4d",
+        c,
+        112,
+        144,
+        288,
+        32,
+        64,
+        64,
+        14,
+    );
+    c = inception(
+        &mut layers,
+        "inception_4e",
+        c,
+        256,
+        160,
+        320,
+        32,
+        128,
+        128,
+        14,
+    );
     // maxpool → 7
-    c = inception(&mut layers, "inception_5a", c, 256, 160, 320, 32, 128, 128, 7);
-    c = inception(&mut layers, "inception_5b", c, 384, 192, 384, 48, 128, 128, 7);
+    c = inception(
+        &mut layers,
+        "inception_5a",
+        c,
+        256,
+        160,
+        320,
+        32,
+        128,
+        128,
+        7,
+    );
+    c = inception(
+        &mut layers,
+        "inception_5b",
+        c,
+        384,
+        192,
+        384,
+        48,
+        128,
+        128,
+        7,
+    );
     layers.push(LayerDesc::fc("fc", c, 1000));
     ModelDesc::new("GoogLeNet", layers)
 }
@@ -59,7 +166,7 @@ pub fn googlenet() -> ModelDesc {
 /// stacks — the canonical pointwise-dominated workload.
 pub fn mobilenet_v1() -> ModelDesc {
     let mut layers = vec![LayerDesc::conv("conv1", 3, 32, 3, 3, 224, 224, 2, 1)]; // → 112
-    // (cin, cout, stride, input hw) per depthwise-separable block.
+                                                                                  // (cin, cout, stride, input hw) per depthwise-separable block.
     let blocks: [(usize, usize, usize, usize); 13] = [
         (32, 64, 1, 112),
         (64, 128, 2, 112),
@@ -130,8 +237,11 @@ mod tests {
             .collect();
         assert_eq!(modules.len(), 9);
         // Each module contributes six conv layers.
-        let inception_layers =
-            m.layers.iter().filter(|l| l.name.starts_with("inception_")).count();
+        let inception_layers = m
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("inception_"))
+            .count();
         assert_eq!(inception_layers, 9 * 6);
     }
 

@@ -4,17 +4,54 @@ use crate::{LayerDesc, ModelDesc};
 
 /// Appends a SqueezeNet fire module: 1×1 squeeze, then parallel 1×1 and 3×3
 /// expands.
-fn fire(layers: &mut Vec<LayerDesc>, idx: usize, cin: usize, squeeze: usize, expand: usize, hw: usize) {
+fn fire(
+    layers: &mut Vec<LayerDesc>,
+    idx: usize,
+    cin: usize,
+    squeeze: usize,
+    expand: usize,
+    hw: usize,
+) {
     let name = |part: &str| format!("fire{idx}/{part}");
-    layers.push(LayerDesc::conv(&name("squeeze1x1"), cin, squeeze, 1, 1, hw, hw, 1, 0));
-    layers.push(LayerDesc::conv(&name("expand1x1"), squeeze, expand, 1, 1, hw, hw, 1, 0));
-    layers.push(LayerDesc::conv(&name("expand3x3"), squeeze, expand, 3, 3, hw, hw, 1, 1));
+    layers.push(LayerDesc::conv(
+        &name("squeeze1x1"),
+        cin,
+        squeeze,
+        1,
+        1,
+        hw,
+        hw,
+        1,
+        0,
+    ));
+    layers.push(LayerDesc::conv(
+        &name("expand1x1"),
+        squeeze,
+        expand,
+        1,
+        1,
+        hw,
+        hw,
+        1,
+        0,
+    ));
+    layers.push(LayerDesc::conv(
+        &name("expand3x3"),
+        squeeze,
+        expand,
+        3,
+        3,
+        hw,
+        hw,
+        1,
+        1,
+    ));
 }
 
 /// SqueezeNet 1.0 for ImageNet (`3×224×224`).
 pub fn squeezenet() -> ModelDesc {
     let mut layers = vec![LayerDesc::conv("conv1", 3, 96, 7, 7, 224, 224, 2, 0)]; // → 109
-    // maxpool 3/2 → 54.
+                                                                                  // maxpool 3/2 → 54.
     fire(&mut layers, 2, 96, 16, 64, 54);
     fire(&mut layers, 3, 128, 16, 64, 54);
     fire(&mut layers, 4, 128, 32, 128, 54);
@@ -43,15 +80,77 @@ fn shuffle_stage(
     let out_hw = hw / 2;
     let name = |u: usize, part: &str| format!("stage{stage}_{u}/{part}");
     // Downsample unit: two branches, both stride 2.
-    layers.push(LayerDesc::grouped(&name(0, "b1_dw"), cin, cin, 3, 3, hw, hw, 2, 1, cin));
-    layers.push(LayerDesc::conv(&name(0, "b1_pw"), cin, half, 1, 1, out_hw, out_hw, 1, 0));
-    layers.push(LayerDesc::conv(&name(0, "b2_pw1"), cin, half, 1, 1, hw, hw, 1, 0));
-    layers.push(LayerDesc::grouped(&name(0, "b2_dw"), half, half, 3, 3, hw, hw, 2, 1, half));
-    layers.push(LayerDesc::conv(&name(0, "b2_pw2"), half, half, 1, 1, out_hw, out_hw, 1, 0));
+    layers.push(LayerDesc::grouped(
+        &name(0, "b1_dw"),
+        cin,
+        cin,
+        3,
+        3,
+        hw,
+        hw,
+        2,
+        1,
+        cin,
+    ));
+    layers.push(LayerDesc::conv(
+        &name(0, "b1_pw"),
+        cin,
+        half,
+        1,
+        1,
+        out_hw,
+        out_hw,
+        1,
+        0,
+    ));
+    layers.push(LayerDesc::conv(
+        &name(0, "b2_pw1"),
+        cin,
+        half,
+        1,
+        1,
+        hw,
+        hw,
+        1,
+        0,
+    ));
+    layers.push(LayerDesc::grouped(
+        &name(0, "b2_dw"),
+        half,
+        half,
+        3,
+        3,
+        hw,
+        hw,
+        2,
+        1,
+        half,
+    ));
+    layers.push(LayerDesc::conv(
+        &name(0, "b2_pw2"),
+        half,
+        half,
+        1,
+        1,
+        out_hw,
+        out_hw,
+        1,
+        0,
+    ));
     // Stride-1 units: only one branch carries weights (the other half of the
     // channels passes through the channel shuffle).
     for u in 1..units {
-        layers.push(LayerDesc::conv(&name(u, "pw1"), half, half, 1, 1, out_hw, out_hw, 1, 0));
+        layers.push(LayerDesc::conv(
+            &name(u, "pw1"),
+            half,
+            half,
+            1,
+            1,
+            out_hw,
+            out_hw,
+            1,
+            0,
+        ));
         layers.push(LayerDesc::grouped(
             &name(u, "dw"),
             half,
@@ -64,7 +163,17 @@ fn shuffle_stage(
             1,
             half,
         ));
-        layers.push(LayerDesc::conv(&name(u, "pw2"), half, half, 1, 1, out_hw, out_hw, 1, 0));
+        layers.push(LayerDesc::conv(
+            &name(u, "pw2"),
+            half,
+            half,
+            1,
+            1,
+            out_hw,
+            out_hw,
+            1,
+            0,
+        ));
     }
     out_hw
 }
@@ -72,7 +181,7 @@ fn shuffle_stage(
 /// ShuffleNet-V2 ×1.0 for ImageNet (`3×224×224`).
 pub fn shufflenet_v2() -> ModelDesc {
     let mut layers = vec![LayerDesc::conv("conv1", 3, 24, 3, 3, 224, 224, 2, 1)]; // → 112
-    // maxpool → 56.
+                                                                                  // maxpool → 56.
     let mut hw = 56;
     hw = shuffle_stage(&mut layers, 2, 24, 116, 4, hw);
     hw = shuffle_stage(&mut layers, 3, 116, 232, 8, hw);
@@ -121,7 +230,17 @@ pub fn efficientnet_b7() -> ModelDesc {
             let name = |part: &str| format!("mb{}_{b}/{part}", si + 1);
             let expanded = cin * t;
             if t != 1 {
-                layers.push(LayerDesc::conv(&name("expand"), cin, expanded, 1, 1, hw, hw, 1, 0));
+                layers.push(LayerDesc::conv(
+                    &name("expand"),
+                    cin,
+                    expanded,
+                    1,
+                    1,
+                    hw,
+                    hw,
+                    1,
+                    0,
+                ));
             }
             layers.push(LayerDesc::grouped(
                 &name("dw"),
@@ -136,7 +255,17 @@ pub fn efficientnet_b7() -> ModelDesc {
                 expanded,
             ));
             let out_hw = if stride == 2 { hw.div_ceil(2) } else { hw };
-            layers.push(LayerDesc::conv(&name("project"), expanded, cout, 1, 1, out_hw, out_hw, 1, 0));
+            layers.push(LayerDesc::conv(
+                &name("project"),
+                expanded,
+                cout,
+                1,
+                1,
+                out_hw,
+                out_hw,
+                1,
+                0,
+            ));
             cin = cout;
             hw = out_hw;
         }
@@ -156,7 +285,10 @@ mod tests {
     fn squeezenet_mac_count_is_canonical() {
         // ~0.8 GMACs.
         let total = squeezenet().dense_mults();
-        assert!((600_000_000..1_000_000_000).contains(&total), "total={total}");
+        assert!(
+            (600_000_000..1_000_000_000).contains(&total),
+            "total={total}"
+        );
     }
 
     #[test]
@@ -197,8 +329,16 @@ mod tests {
     #[test]
     fn fire_modules_have_paired_expands() {
         let m = squeezenet();
-        let e1: Vec<_> = m.layers.iter().filter(|l| l.name.contains("expand1x1")).collect();
-        let e3: Vec<_> = m.layers.iter().filter(|l| l.name.contains("expand3x3")).collect();
+        let e1: Vec<_> = m
+            .layers
+            .iter()
+            .filter(|l| l.name.contains("expand1x1"))
+            .collect();
+        let e3: Vec<_> = m
+            .layers
+            .iter()
+            .filter(|l| l.name.contains("expand3x3"))
+            .collect();
         assert_eq!(e1.len(), 8);
         assert_eq!(e3.len(), 8);
         for (a, b) in e1.iter().zip(&e3) {

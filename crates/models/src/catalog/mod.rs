@@ -14,7 +14,7 @@ mod resnet;
 pub use classic::{alexnet, convnet, lenet5, vgg16, vgg16_cifar};
 pub use extra::{googlenet, mobilenet_v1};
 pub use mobile::{efficientnet_b7, shufflenet_v2, squeezenet};
-pub use resnet::{resnet18, resnet50, resnet152, resnext101, wide_resnet28_10};
+pub use resnet::{resnet152, resnet18, resnet50, resnext101, wide_resnet28_10};
 
 use crate::ModelDesc;
 
@@ -64,7 +64,10 @@ mod tests {
     #[test]
     fn by_name_resolves_aliases() {
         assert_eq!(by_name("AlexNet").map(|m| m.name), Some("AlexNet".into()));
-        assert_eq!(by_name("resnet-50").map(|m| m.name), Some("ResNet-50".into()));
+        assert_eq!(
+            by_name("resnet-50").map(|m| m.name),
+            Some("ResNet-50".into())
+        );
         assert!(by_name("nope").is_none());
     }
 

@@ -22,7 +22,17 @@ fn basic_stage(
         let name = |part: &str| format!("conv{stage}_{b}_{part}");
         layers.push(LayerDesc::conv(&name("a"), c, cout, 3, 3, hw, hw, s, 1));
         let out_hw = hw / s;
-        layers.push(LayerDesc::conv(&name("b"), cout, cout, 3, 3, out_hw, out_hw, 1, 1));
+        layers.push(LayerDesc::conv(
+            &name("b"),
+            cout,
+            cout,
+            3,
+            3,
+            out_hw,
+            out_hw,
+            1,
+            1,
+        ));
         if b == 0 && (s != 1 || c != cout) {
             layers.push(LayerDesc::conv(&name("ds"), c, cout, 1, 1, hw, hw, s, 0));
         }

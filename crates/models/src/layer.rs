@@ -138,7 +138,10 @@ impl LayerDesc {
             "layer {}: padded input smaller than kernel",
             self.name
         );
-        ((ph - self.r) / self.stride + 1, (pw - self.s) / self.stride + 1)
+        (
+            (ph - self.r) / self.stride + 1,
+            (pw - self.s) / self.stride + 1,
+        )
     }
 
     /// Number of output pixels `H'·W'`.
@@ -191,8 +194,16 @@ impl fmt::Display for LayerDesc {
         write!(
             f,
             "{}: {}x{}x{}x{} over {}x{} (stride {}, pad {}, groups {})",
-            self.name, self.k, self.c, self.r, self.s, self.h, self.w, self.stride,
-            self.padding, self.groups
+            self.name,
+            self.k,
+            self.c,
+            self.r,
+            self.s,
+            self.h,
+            self.w,
+            self.stride,
+            self.padding,
+            self.groups
         )
     }
 }

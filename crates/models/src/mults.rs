@@ -20,7 +20,10 @@ impl CompressionScheme {
     /// Whether stored-weight counts are halved by the centrosymmetric
     /// structure under this scheme.
     pub fn uses_centrosymmetric(self) -> bool {
-        matches!(self, CompressionScheme::Cscnn | CompressionScheme::CscnnPruning)
+        matches!(
+            self,
+            CompressionScheme::Cscnn | CompressionScheme::CscnnPruning
+        )
     }
 
     /// Display name matching the paper's tables.
@@ -87,7 +90,9 @@ impl ModelCompression {
 
     /// Total multiplications for the model under this scheme.
     pub fn total_mults(&self) -> f64 {
-        (0..self.model.layers.len()).map(|i| self.layer_mults(i)).sum()
+        (0..self.model.layers.len())
+            .map(|i| self.layer_mults(i))
+            .sum()
     }
 
     /// Overall multiplication-reduction factor vs dense.
@@ -97,7 +102,9 @@ impl ModelCompression {
 
     /// Total stored weight count (for storage comparisons).
     pub fn total_stored_weights(&self) -> f64 {
-        (0..self.model.layers.len()).map(|i| self.stored_weights(i)).sum()
+        (0..self.model.layers.len())
+            .map(|i| self.stored_weights(i))
+            .sum()
     }
 
     /// Weight-storage compression factor vs dense.
@@ -124,10 +131,8 @@ pub fn winograd_reduction(model: &ModelDesc) -> f64 {
             let m = l.dense_mults() as f64;
             // Winograd applies per group, so grouped/depthwise 3x3s
             // qualify too; only stride and kernel size matter.
-            let eligible = l.kind != crate::LayerKind::FullyConnected
-                && l.stride == 1
-                && l.r == 3
-                && l.s == 3;
+            let eligible =
+                l.kind != crate::LayerKind::FullyConnected && l.stride == 1 && l.r == 3 && l.s == 3;
             if eligible {
                 m * 4.0 / 9.0
             } else {

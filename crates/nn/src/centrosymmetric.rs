@@ -40,6 +40,14 @@ pub fn centrosymmetrize_conv(conv: &mut Conv2d) -> bool {
         let projected = centro::project_mean(&new[base..base + r * s], r, s);
         new[base..base + r * s].copy_from_slice(&projected);
     }
+    // Construction-site invariant (Eq. 2): every slice of the new weight
+    // tensor must satisfy W(u,v) == W(R-1-u,S-1-v) exactly before the layer
+    // is flagged centrosymmetric.
+    debug_assert!(
+        new.chunks_exact(r * s)
+            .all(|slice| centro::is_centrosymmetric(slice, r, s, 0.0)),
+        "centrosymmetrize_conv produced a non-centrosymmetric filter"
+    );
     conv.weight_mut().value = Tensor::from_vec(new, &dims);
     conv.set_centrosymmetric(true);
     true
@@ -151,9 +159,9 @@ pub fn count_multiplications(net: &mut Network, inputs: &[(usize, usize)]) -> Mu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cscnn_rng::rngs::StdRng;
+    use cscnn_rng::SeedableRng;
     use cscnn_tensor::ConvSpec;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn conv(stride: usize, kernel: usize) -> Conv2d {
         let mut rng = StdRng::seed_from_u64(11);

@@ -104,9 +104,9 @@ impl FilterScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cscnn_rng::rngs::StdRng;
+    use cscnn_rng::SeedableRng;
     use cscnn_tensor::{ConvSpec, Tensor};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn conv3x3() -> Conv2d {
         let mut rng = StdRng::seed_from_u64(13);

@@ -8,10 +8,10 @@
 //! accuracy, collapses under the Eq. 5 projection, and recovers with
 //! retraining.
 
+use cscnn_rng::rngs::StdRng;
+use cscnn_rng::seq::SliceRandom;
+use cscnn_rng::{Rng, SeedableRng};
 use cscnn_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// An in-memory synthetic classification dataset of `[C, H, W]` images.
 #[derive(Clone, Debug)]
@@ -247,13 +247,13 @@ fn segments_of(digit: usize) -> Vec<(usize, usize, usize, usize)> {
     //   0: top bar, 1: top-left, 2: top-right, 3: middle bar,
     //   4: bottom-left, 5: bottom-right, 6: bottom bar.
     const SEGS: [(usize, usize, usize, usize); 7] = [
-        (6, 8, 3, 12),   // top
-        (6, 8, 8, 3),    // top-left
-        (6, 17, 8, 3),   // top-right
-        (13, 8, 3, 12),  // middle
-        (13, 8, 8, 3),   // bottom-left
-        (13, 17, 8, 3),  // bottom-right
-        (19, 8, 3, 12),  // bottom
+        (6, 8, 3, 12),  // top
+        (6, 8, 8, 3),   // top-left
+        (6, 17, 8, 3),  // top-right
+        (13, 8, 3, 12), // middle
+        (13, 8, 8, 3),  // bottom-left
+        (13, 17, 8, 3), // bottom-right
+        (19, 8, 3, 12), // bottom
     ];
     const DIGIT_SEGS: [&[usize]; 10] = [
         &[0, 1, 2, 4, 5, 6],    // 0

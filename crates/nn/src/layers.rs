@@ -6,12 +6,12 @@
 //!
 //! [`Network`]: crate::Network
 
+use cscnn_rng::Rng;
 use cscnn_sparse::centro;
 use cscnn_tensor::{
     conv2d, conv2d_backward, kaiming_uniform, matmul, matmul_at, matmul_bt, max_pool2d,
     max_pool2d_backward, ConvSpec, PoolSpec, Tensor,
 };
-use rand::Rng;
 
 /// A trainable parameter: value, gradient accumulator, and an optional
 /// pruning mask (1 = keep, 0 = pruned).
@@ -318,7 +318,11 @@ impl Layer for Relu {
             .cached_mask
             .take()
             .expect("backward called before forward");
-        assert_eq!(mask.len(), grad_out.len(), "grad shape changed since forward");
+        assert_eq!(
+            mask.len(),
+            grad_out.len(),
+            "grad shape changed since forward"
+        );
         Tensor::from_vec(
             grad_out
                 .as_slice()
@@ -372,7 +376,7 @@ impl Layer for MaxPool {
 pub struct Dropout {
     p: f64,
     training: bool,
-    rng: rand::rngs::StdRng,
+    rng: cscnn_rng::rngs::StdRng,
     cached_mask: Option<Vec<f32>>,
 }
 
@@ -387,7 +391,7 @@ impl Dropout {
         Dropout {
             p,
             training: true,
-            rng: <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+            rng: <cscnn_rng::rngs::StdRng as cscnn_rng::SeedableRng>::seed_from_u64(seed),
             cached_mask: None,
         }
     }
@@ -407,7 +411,7 @@ impl Layer for Dropout {
         let scale = 1.0 / (1.0 - self.p) as f32;
         let mask: Vec<f32> = (0..input.len())
             .map(|_| {
-                if rand::Rng::gen_bool(&mut self.rng, self.p) {
+                if cscnn_rng::Rng::gen_bool(&mut self.rng, self.p) {
                     0.0
                 } else {
                     scale
@@ -485,8 +489,8 @@ impl Layer for Flatten {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cscnn_rng::rngs::StdRng;
+    use cscnn_rng::SeedableRng;
 
     #[test]
     fn relu_masks_negative_gradients() {

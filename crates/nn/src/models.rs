@@ -6,9 +6,9 @@
 //! `vgg_s` are scaled-down proxies of the paper's CIFAR models, sized so the
 //! accuracy experiments run in seconds on a CPU.
 
+use cscnn_rng::rngs::StdRng;
+use cscnn_rng::SeedableRng;
 use cscnn_tensor::{ConvSpec, PoolSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::layers::{Conv2d, Flatten, Linear, MaxPool, Relu};
 use crate::Network;
@@ -19,13 +19,26 @@ use crate::Network;
 ///
 /// Panics if the spatial extent is not divisible by 4.
 pub fn tiny_cnn(channels: usize, h: usize, w: usize, classes: usize, seed: u64) -> Network {
-    assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "spatial extent must be divisible by 4");
+    assert!(
+        h.is_multiple_of(4) && w.is_multiple_of(4),
+        "spatial extent must be divisible by 4"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = Network::new();
-    net.push(Conv2d::new(&mut rng, channels, 8, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Conv2d::new(
+        &mut rng,
+        channels,
+        8,
+        ConvSpec::new(3, 3).with_padding(1),
+    ));
     net.push(Relu::new());
     net.push(MaxPool::new(PoolSpec::new(2)));
-    net.push(Conv2d::new(&mut rng, 8, 16, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Conv2d::new(
+        &mut rng,
+        8,
+        16,
+        ConvSpec::new(3, 3).with_padding(1),
+    ));
     net.push(Relu::new());
     net.push(MaxPool::new(PoolSpec::new(2)));
     net.push(Flatten::new());
@@ -73,10 +86,15 @@ pub fn lenet5(classes: usize, seed: u64) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = Network::new();
     // C1: 6 feature maps, 5x5, pad 2 → 28x28.
-    net.push(Conv2d::new(&mut rng, 1, 6, ConvSpec::new(5, 5).with_padding(2)));
+    net.push(Conv2d::new(
+        &mut rng,
+        1,
+        6,
+        ConvSpec::new(5, 5).with_padding(2),
+    ));
     net.push(Relu::new());
     net.push(MaxPool::new(PoolSpec::new(2))); // 14x14
-    // C3: 16 maps, 5x5 → 10x10.
+                                              // C3: 16 maps, 5x5 → 10x10.
     net.push(Conv2d::new(&mut rng, 6, 16, ConvSpec::new(5, 5)));
     net.push(Relu::new());
     net.push(MaxPool::new(PoolSpec::new(2))); // 5x5
@@ -99,13 +117,28 @@ pub fn lenet5_conv_inputs() -> Vec<(usize, usize)> {
 pub fn convnet_s(classes: usize, seed: u64) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = Network::new();
-    net.push(Conv2d::new(&mut rng, 3, 16, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Conv2d::new(
+        &mut rng,
+        3,
+        16,
+        ConvSpec::new(3, 3).with_padding(1),
+    ));
     net.push(Relu::new());
     net.push(MaxPool::new(PoolSpec::new(2))); // 8x8
-    net.push(Conv2d::new(&mut rng, 16, 32, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Conv2d::new(
+        &mut rng,
+        16,
+        32,
+        ConvSpec::new(3, 3).with_padding(1),
+    ));
     net.push(Relu::new());
     net.push(MaxPool::new(PoolSpec::new(2))); // 4x4
-    net.push(Conv2d::new(&mut rng, 32, 32, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Conv2d::new(
+        &mut rng,
+        32,
+        32,
+        ConvSpec::new(3, 3).with_padding(1),
+    ));
     net.push(Relu::new());
     net.push(Flatten::new());
     net.push(Linear::new(&mut rng, 32 * 4 * 4, classes));
@@ -123,9 +156,19 @@ pub fn vgg_s(classes: usize, seed: u64) -> Network {
     let mut net = Network::new();
     let blocks: [(usize, usize); 3] = [(3, 16), (16, 32), (32, 64)];
     for (cin, cout) in blocks {
-        net.push(Conv2d::new(&mut rng, cin, cout, ConvSpec::new(3, 3).with_padding(1)));
+        net.push(Conv2d::new(
+            &mut rng,
+            cin,
+            cout,
+            ConvSpec::new(3, 3).with_padding(1),
+        ));
         net.push(Relu::new());
-        net.push(Conv2d::new(&mut rng, cout, cout, ConvSpec::new(3, 3).with_padding(1)));
+        net.push(Conv2d::new(
+            &mut rng,
+            cout,
+            cout,
+            ConvSpec::new(3, 3).with_padding(1),
+        ));
         net.push(Relu::new());
         net.push(MaxPool::new(PoolSpec::new(2)));
     }
@@ -174,11 +217,17 @@ mod tests {
 
     #[test]
     fn conv_input_lists_match_conv_layer_counts() {
-        assert_eq!(lenet5(10, 0).conv_layers_mut().count(), lenet5_conv_inputs().len());
+        assert_eq!(
+            lenet5(10, 0).conv_layers_mut().count(),
+            lenet5_conv_inputs().len()
+        );
         assert_eq!(
             convnet_s(10, 0).conv_layers_mut().count(),
             convnet_s_conv_inputs().len()
         );
-        assert_eq!(vgg_s(10, 0).conv_layers_mut().count(), vgg_s_conv_inputs().len());
+        assert_eq!(
+            vgg_s(10, 0).conv_layers_mut().count(),
+            vgg_s_conv_inputs().len()
+        );
     }
 }

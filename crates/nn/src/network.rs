@@ -11,8 +11,8 @@ use crate::layers::{Conv2d, Layer, Param};
 /// ```
 /// use cscnn_nn::{Network, Relu, Flatten, Linear};
 /// use cscnn_tensor::Tensor;
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
+/// use cscnn_rng::rngs::StdRng;
+/// use cscnn_rng::SeedableRng;
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let mut net = Network::new();
@@ -112,9 +112,11 @@ impl Network {
 
     /// Iterates over the fully-connected layers (used by the pruning pass).
     pub fn linear_layers_mut(&mut self) -> impl Iterator<Item = &mut crate::layers::Linear> {
-        self.layers
-            .iter_mut()
-            .filter_map(|l| l.as_mut().as_any_mut().downcast_mut::<crate::layers::Linear>())
+        self.layers.iter_mut().filter_map(|l| {
+            l.as_mut()
+                .as_any_mut()
+                .downcast_mut::<crate::layers::Linear>()
+        })
     }
 
     /// Borrows layer `i` as a trait object (downcast via `as_any_mut` to
@@ -137,15 +139,20 @@ impl Network {
 mod tests {
     use super::*;
     use crate::layers::{Flatten, Linear, Relu};
+    use cscnn_rng::rngs::StdRng;
+    use cscnn_rng::SeedableRng;
     use cscnn_tensor::ConvSpec;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn forward_backward_shapes_compose() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut net = Network::new();
-        net.push(Conv2d::new(&mut rng, 1, 4, ConvSpec::new(3, 3).with_padding(1)));
+        net.push(Conv2d::new(
+            &mut rng,
+            1,
+            4,
+            ConvSpec::new(3, 3).with_padding(1),
+        ));
         net.push(Relu::new());
         net.push(Flatten::new());
         net.push(Linear::new(&mut rng, 4 * 6 * 6, 3));

@@ -67,7 +67,10 @@ impl Layer for BatchNorm2d {
                 let mut sum = 0.0f64;
                 for ni in 0..n {
                     let base = (ni * c + ci) * plane;
-                    sum += src[base..base + plane].iter().map(|&x| x as f64).sum::<f64>();
+                    sum += src[base..base + plane]
+                        .iter()
+                        .map(|&x| x as f64)
+                        .sum::<f64>();
                 }
                 let mean = (sum / count as f64) as f32;
                 let mut var_sum = 0.0f64;
@@ -142,8 +145,7 @@ impl Layer for BatchNorm2d {
             for ni in 0..n {
                 let base = (ni * c + ci) * plane;
                 for i in base..base + plane {
-                    grad_in.as_mut_slice()[i] =
-                        g * inv * (go[i] - k1 - x_hat[i] * k2);
+                    grad_in.as_mut_slice()[i] = g * inv * (go[i] - k1 - x_hat[i] * k2);
                 }
             }
         }
@@ -237,11 +239,21 @@ mod tests {
             let mut bn2 = BatchNorm2d::new(1);
             let mut xp = x.clone();
             xp.as_mut_slice()[idx] += eps;
-            let lp: f32 = bn2.forward(&xp).as_slice().iter().map(|v| v * v * 0.5).sum();
+            let lp: f32 = bn2
+                .forward(&xp)
+                .as_slice()
+                .iter()
+                .map(|v| v * v * 0.5)
+                .sum();
             let mut bn3 = BatchNorm2d::new(1);
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
-            let lm: f32 = bn3.forward(&xm).as_slice().iter().map(|v| v * v * 0.5).sum();
+            let lm: f32 = bn3
+                .forward(&xm)
+                .as_slice()
+                .iter()
+                .map(|v| v * v * 0.5)
+                .sum();
             let fd = (lp - lm) / (2.0 * eps);
             assert!(
                 (fd - grad_in.as_slice()[idx]).abs() < 2e-2,
@@ -265,7 +277,10 @@ mod tests {
         let shifted = Tensor::full(&[2, 1, 2, 2], 5.0);
         let y = bn.forward(&shifted);
         let mean: f32 = y.as_slice().iter().sum::<f32>() / y.len() as f32;
-        assert!(mean.abs() < 0.5, "running stats should center 5.0 near 0, got {mean}");
+        assert!(
+            mean.abs() < 0.5,
+            "running stats should center 5.0 near 0, got {mean}"
+        );
     }
 
     #[test]

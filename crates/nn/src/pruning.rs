@@ -42,7 +42,10 @@ impl Default for PruneConfig {
 ///
 /// Panics if `keep` is outside `[0, 1]` or `values` is empty.
 pub fn magnitude_threshold(values: &[f32], keep: f64) -> f32 {
-    assert!((0.0..=1.0).contains(&keep), "keep fraction must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&keep),
+        "keep fraction must be in [0,1]"
+    );
     assert!(!values.is_empty(), "cannot derive threshold of empty slice");
     let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
     mags.sort_by(|a, b| a.partial_cmp(b).expect("NaN weight"));
@@ -234,10 +237,10 @@ pub fn sensitivity_scan(
 mod tests {
     use super::*;
     use crate::centrosymmetric::centrosymmetrize_conv;
+    use cscnn_rng::rngs::StdRng;
+    use cscnn_rng::SeedableRng;
     use cscnn_sparse::centro;
     use cscnn_tensor::ConvSpec;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn threshold_keeps_requested_fraction() {
@@ -317,7 +320,10 @@ mod tests {
             .conv_layers_mut()
             .map(|c| c.weight().kept_fraction())
             .fold(0.0, f64::max);
-        assert!((final_conv_kept - 0.4).abs() < 0.08, "kept {final_conv_kept}");
+        assert!(
+            (final_conv_kept - 0.4).abs() < 0.08,
+            "kept {final_conv_kept}"
+        );
         // And the network still works.
         let acc = crate::trainer::evaluate(&mut net, &test, 16);
         assert!(acc > 0.3, "acc {acc}");
@@ -349,7 +355,10 @@ mod tests {
         }
         // The scan must restore the network exactly.
         let after = evaluate(&mut net, &test, 16);
-        assert!((before - after).abs() < 1e-9, "scan must be non-destructive");
+        assert!(
+            (before - after).abs() < 1e-9,
+            "scan must be non-destructive"
+        );
     }
 
     #[test]

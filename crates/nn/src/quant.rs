@@ -46,7 +46,9 @@ impl QFormat {
 
     /// Quantizes one value (round-to-nearest, saturating).
     pub fn quantize(&self, x: f32) -> i16 {
-        (x * self.scale()).round().clamp(i16::MIN as f32, i16::MAX as f32) as i16
+        (x * self.scale())
+            .round()
+            .clamp(i16::MIN as f32, i16::MAX as f32) as i16
     }
 
     /// Dequantizes one value.

@@ -1,7 +1,7 @@
 //! Mini-batch training loop.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cscnn_rng::rngs::StdRng;
+use cscnn_rng::SeedableRng;
 
 use crate::datasets::SyntheticImages;
 use crate::metrics::{accuracy, softmax_cross_entropy};

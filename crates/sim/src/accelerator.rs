@@ -9,6 +9,7 @@ use crate::interface::{Accelerator, Characteristics, LayerContext, TrafficModel}
 use crate::pe::{CartesianPe, PeResult};
 use crate::report::LayerStats;
 use crate::tiling::{self, TilingStrategy};
+use crate::util::{count_from_f64, to_count};
 use crate::ArchConfig;
 
 /// A configurable Cartesian-product accelerator.
@@ -104,7 +105,6 @@ impl CartesianAccelerator {
     }
 }
 
-
 impl CartesianAccelerator {
     /// Executes a conv-layer plan on the fast PE model, including the
     /// stride phase decomposition and halo exchange.
@@ -125,11 +125,11 @@ impl CartesianAccelerator {
         // fragments) leave roughly half the fetched operand pairs useless —
         // the "unnecessary computations" the paper blames for SCNN/CSCNN
         // falling behind DCNN on AlexNet C1 (Fig. 8).
-        let phases = (layer.stride * layer.stride) as u64;
+        let phases = to_count(layer.stride * layer.stride);
         const STRIDE_WASTE: f64 = 2.0;
         let mut results = Vec::with_capacity(plan.len());
         for assign in plan {
-            let mut channels = Vec::with_capacity(layer.c * phases as usize);
+            let mut channels = Vec::with_capacity(layer.c * layer.stride * layer.stride);
             for c in 0..layer.c {
                 let conv_group = c / c_per_group;
                 let c_local = c % c_per_group;
@@ -137,26 +137,26 @@ impl CartesianAccelerator {
                     .k_set
                     .iter()
                     .filter(|&&k| k / k_per_group == conv_group)
-                    .map(|&k| wl.weight_nnz(k, c_local) as u64)
+                    .map(|&k| u64::from(wl.weight_nnz(k, c_local)))
                     .sum();
                 if w == 0 {
                     continue;
                 }
-                let a = wl.act_tile_nnz(c, assign.tile_id, assign.tile_pixels) as u64;
+                let a = u64::from(wl.act_tile_nnz(c, assign.tile_id, assign.tile_pixels));
                 if phases == 1 {
                     channels.push((w, a));
                 } else {
-                    let w_p = ((w as f64 * STRIDE_WASTE) / phases as f64).ceil() as u64;
+                    let w_p = count_from_f64(((w as f64 * STRIDE_WASTE) / phases as f64).ceil());
                     let a_p = a.div_ceil(phases);
                     for _ in 0..phases {
                         channels.push((w_p, a_p));
                     }
                 }
             }
-            let outputs = (assign.k_set.len() * assign.out_pixels) as u64;
+            let outputs = to_count(assign.k_set.len() * assign.out_pixels);
             let mut result = pe.run_conv(&channels, outputs);
             // Halo value exchange with neighbour PEs (§III-A).
-            let halo = (assign.k_set.len() * assign.halo_out_pixels) as u64;
+            let halo = to_count(assign.k_set.len() * assign.halo_out_pixels);
             let exchange = pe.halo_exchange(halo);
             result.cycles += exchange.cycles;
             result.counters.merge(&exchange.counters);
@@ -217,7 +217,9 @@ impl Accelerator for CartesianAccelerator {
         let mut results: Vec<PeResult> = Vec::new();
         if layer.kind == LayerKind::FullyConnected {
             // Distribute output neurons across PEs (density-balanced).
-            let nnz: Vec<u64> = (0..layer.k).map(|k| wl.fc_weight_nnz(k) as u64).collect();
+            let nnz: Vec<u64> = (0..layer.k)
+                .map(|k| u64::from(wl.fc_weight_nnz(k)))
+                .collect();
             let groups = if self.balanced {
                 tiling::balance_groups(&nnz, cfg.num_pes())
             } else {
@@ -225,7 +227,7 @@ impl Accelerator for CartesianAccelerator {
             };
             for g in groups {
                 let w: u64 = g.iter().map(|&k| nnz[k]).sum();
-                results.push(pe.run_fc(w, wl.act_density, g.len() as u64));
+                results.push(pe.run_fc(w, wl.act_density, to_count(g.len())));
             }
         } else if self.mapper {
             // Mapping search: evaluate all strategies, keep the fastest.

@@ -5,12 +5,10 @@
 //! model is parameterized by capacity, so configurations other than the
 //! paper's can be explored.
 
-use serde::Serialize;
-
 use crate::ArchConfig;
 
 /// Per-component PE area in mm² (45 nm).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PeArea {
     /// Multiplier array.
     pub mul_array: f64,
@@ -27,6 +25,16 @@ pub struct PeArea {
     /// Post-processing unit.
     pub ppu: f64,
 }
+
+cscnn_json::impl_to_json!(PeArea {
+    mul_array,
+    ib_ob,
+    wb,
+    ab,
+    scatter,
+    ccu,
+    ppu,
+});
 
 /// mm² per 16-bit multiplier (16 multipliers ≈ 0.05 mm²).
 const MULT_MM2: f64 = 0.05 / 16.0;

@@ -26,6 +26,7 @@ use cscnn_models::{CompressionScheme, LayerKind};
 
 use crate::interface::{Accelerator, Characteristics, LayerContext, TrafficModel};
 use crate::report::LayerStats;
+use crate::util::{count_from_f64, cycles_from_f64, to_index};
 
 /// Which structural dimension limits lane utilization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -135,29 +136,28 @@ impl Accelerator for AnalyticBaseline {
             layer.k
         } else {
             match p.frag_dim {
-                FragDim::Pixels => layer.output_pixels() as usize,
+                FragDim::Pixels => to_index(layer.output_pixels()),
                 FragDim::OutputChannels => layer.k,
             }
         };
         let lanes = p.lane_width.max(1);
-        let frag =
-            frag_extent as f64 / ((frag_extent as f64 / lanes as f64).ceil() * lanes as f64);
+        let frag = frag_extent as f64 / ((frag_extent as f64 / lanes as f64).ceil() * lanes as f64);
         let util = p.base_utilization * frag;
         let peak = cfg.total_multipliers() as f64;
-        let compute_cycles = (macs / (peak * util)).ceil() as u64;
+        let compute_cycles = cycles_from_f64((macs / (peak * util)).ceil());
         // Event counts.
         let outputs = layer.output_activations();
         let mut c = crate::energy::EnergyCounters::default();
-        c.mults = macs.round() as u64;
+        c.mults = count_from_f64(macs.round());
         c.adds = c.mults;
-        c.wb_reads = (macs / p.weight_reuse).round() as u64;
-        c.ib_reads = (macs / p.act_reuse).round() as u64;
+        c.wb_reads = count_from_f64((macs / p.weight_reuse).round());
+        c.ib_reads = count_from_f64((macs / p.act_reuse).round());
         c.index_reads = if p.compressed_weights { c.wb_reads } else { 0 }
             + if p.compressed_acts { c.ib_reads } else { 0 };
-        c.ab_accesses = (macs * p.ab_access_factor).round() as u64 + outputs;
+        c.ab_accesses = count_from_f64((macs * p.ab_access_factor).round()) + outputs;
         c.ob_writes = outputs;
         c.ppu_ops = outputs;
-        c.ccu_ops = (macs * p.others_ops_per_mac).round() as u64;
+        c.ccu_ops = count_from_f64((macs * p.others_ops_per_mac).round());
         let act_amplification = if p.im2col && layer.kind != LayerKind::FullyConnected {
             (layer.r * layer.s) as f64 / (layer.stride * layer.stride) as f64
         } else {
@@ -210,13 +210,7 @@ mod tests {
 
     fn run(acc: &dyn Accelerator, wd: f64, ad: f64) -> LayerStats {
         let layer = LayerDesc::conv("c", 64, 64, 3, 3, 28, 28, 1, 1);
-        let wl = LayerWorkload::synthesize(
-            &layer,
-            wd,
-            ad,
-            acc.scheme().uses_centrosymmetric(),
-            3,
-        );
+        let wl = LayerWorkload::synthesize(&layer, wd, ad, acc.scheme().uses_centrosymmetric(), 3);
         let cfg = acc.config();
         let dram = DramConfig::default();
         let energy = EnergyTable::default();

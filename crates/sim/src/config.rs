@@ -1,11 +1,17 @@
 //! Accelerator architecture configuration.
 
+use crate::error::SimError;
+
 /// Architectural parameters shared by the simulated accelerators.
 ///
 /// Defaults reproduce the paper's evaluated configuration (§IV): a `2×2` PE
 /// array, each PE with a `4×4` multiplier array, 800 MHz, 40 KB IB+OB,
 /// 10 KB (CSCNN) / 16 KB (SCNN) weight buffer, 12 KB / 6 KB accumulator
 /// buffers and `16×32` scatter crossbars.
+///
+/// Every constructor (and any hand-built or JSON-ingested value) is
+/// expected to satisfy [`ArchConfig::validate`]; the constructors check it
+/// in debug builds, and the CLI checks it on every parsed config.
 ///
 /// # Example
 ///
@@ -15,8 +21,9 @@
 /// let cfg = ArchConfig::paper();
 /// assert_eq!(cfg.total_multipliers(), 64);
 /// assert_eq!(cfg.accumulator_banks(), 32);
+/// assert!(cfg.validate().is_ok());
 /// ```
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ArchConfig {
     /// PE array rows.
     pub pe_rows: usize,
@@ -47,10 +54,42 @@ pub struct ArchConfig {
     pub mixed_subarrays: usize,
 }
 
+cscnn_json::impl_to_json!(ArchConfig {
+    pe_rows,
+    pe_cols,
+    mult_px,
+    mult_py,
+    frequency_hz,
+    ib_ob_bytes,
+    wb_bytes,
+    ab_bytes,
+    accumulator_buffers,
+    word_bits,
+    index_bits,
+    glb_bytes,
+    mixed_subarrays,
+});
+
+cscnn_json::impl_from_json!(ArchConfig {
+    pe_rows,
+    pe_cols,
+    mult_px,
+    mult_py,
+    frequency_hz,
+    ib_ob_bytes,
+    wb_bytes,
+    ab_bytes,
+    accumulator_buffers,
+    word_bits,
+    index_bits,
+    glb_bytes,
+    mixed_subarrays,
+});
+
 impl ArchConfig {
     /// The paper's evaluated CSCNN configuration.
     pub fn paper() -> Self {
-        ArchConfig {
+        let cfg = ArchConfig {
             pe_rows: 2,
             pe_cols: 2,
             mult_px: 4,
@@ -64,18 +103,60 @@ impl ArchConfig {
             index_bits: 4,
             glb_bytes: 1024 * 1024,
             mixed_subarrays: 2,
-        }
+        };
+        debug_assert!(cfg.validate().is_ok(), "paper config must validate");
+        cfg
     }
 
     /// The paper's SCNN-equivalent configuration (single accumulator
     /// buffer, larger weight buffer for uncompressed dual weights).
     pub fn paper_scnn() -> Self {
-        ArchConfig {
+        let cfg = ArchConfig {
             wb_bytes: 16 * 1024,
             ab_bytes: 6 * 1024,
             accumulator_buffers: 1,
             ..Self::paper()
+        };
+        debug_assert!(cfg.validate().is_ok(), "SCNN config must validate");
+        cfg
+    }
+
+    /// Checks that the parameters describe a buildable machine: non-zero
+    /// array/vector extents and buffer capacities, a positive finite clock,
+    /// a sane word width and 1 or 2 accumulator buffers (the only
+    /// microarchitectures modeled).
+    pub fn validate(&self) -> Result<(), SimError> {
+        let err = |field: &'static str, reason: &'static str| {
+            Err(SimError::InvalidConfig { field, reason })
+        };
+        if self.pe_rows == 0 || self.pe_cols == 0 {
+            return err("pe_rows/pe_cols", "must be non-zero");
         }
+        if self.mult_px == 0 || self.mult_py == 0 {
+            return err("mult_px/mult_py", "must be non-zero");
+        }
+        if !(self.frequency_hz.is_finite() && self.frequency_hz > 0.0) {
+            return err("frequency_hz", "must be positive and finite");
+        }
+        if self.ib_ob_bytes == 0 || self.wb_bytes == 0 || self.ab_bytes == 0 {
+            return err("buffer capacities", "must be non-zero");
+        }
+        if !(1..=2).contains(&self.accumulator_buffers) {
+            return err("accumulator_buffers", "must be 1 (SCNN) or 2 (CSCNN)");
+        }
+        if self.word_bits == 0 || self.word_bits > 64 {
+            return err("word_bits", "must be in 1..=64");
+        }
+        if self.index_bits == 0 || self.index_bits > 16 {
+            return err("index_bits", "must be in 1..=16");
+        }
+        if self.glb_bytes == 0 {
+            return err("glb_bytes", "must be non-zero");
+        }
+        if self.mixed_subarrays == 0 || self.mixed_subarrays > self.num_pes() {
+            return err("mixed_subarrays", "must be in 1..=num_pes");
+        }
+        Ok(())
     }
 
     /// Number of PEs.
@@ -131,6 +212,41 @@ mod tests {
         let c = ArchConfig::paper_scnn();
         assert_eq!(c.wb_bytes, 16 * 1024);
         assert_eq!(c.accumulator_buffers, 1);
-        assert_eq!(c.total_multipliers(), ArchConfig::paper().total_multipliers());
+        assert_eq!(
+            c.total_multipliers(),
+            ArchConfig::paper().total_multipliers()
+        );
+    }
+
+    #[test]
+    fn validation_accepts_paper_rejects_degenerate() {
+        assert!(ArchConfig::paper().validate().is_ok());
+        assert!(ArchConfig::paper_scnn().validate().is_ok());
+        let mut c = ArchConfig::paper();
+        c.pe_rows = 0;
+        assert!(c.validate().is_err());
+        let mut c = ArchConfig::paper();
+        c.frequency_hz = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = ArchConfig::paper();
+        c.accumulator_buffers = 3;
+        assert!(c.validate().is_err());
+        let mut c = ArchConfig::paper();
+        c.mixed_subarrays = 99;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = ArchConfig::paper();
+        let json = cscnn_json::to_string_pretty(&cfg).expect("serialize");
+        let back: ArchConfig = cscnn_json::from_str(&json).expect("parse");
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn json_with_missing_field_is_rejected() {
+        let err = cscnn_json::from_str::<ArchConfig>("{\"pe_rows\":2}").unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
     }
 }

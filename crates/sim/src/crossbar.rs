@@ -16,8 +16,10 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::sync::OnceLock;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cscnn_rng::rngs::StdRng;
+use cscnn_rng::{Rng, SeedableRng};
+
+use crate::util::{to_count, to_index};
 
 /// FIFO depth in front of each accumulator bank.
 const FIFO_DEPTH: u32 = 6;
@@ -50,7 +52,7 @@ pub fn stall_factor(px: usize, py: usize, buffers: usize) -> f64 {
 
 fn simulate(px: usize, py: usize, buffers: usize) -> f64 {
     let banks = 2 * px * py;
-    let mut rng = StdRng::seed_from_u64(SEED ^ ((px as u64) << 8) ^ ((py as u64) << 16));
+    let mut rng = StdRng::seed_from_u64(SEED ^ (to_count(px) << 8) ^ (to_count(py) << 16));
     let mut fifos = vec![vec![0u32; banks]; buffers];
     let mut cycles: u64 = 0;
     // Model a 3x3-kernel layer over a 16x16 tile: weight vectors span
@@ -133,15 +135,15 @@ fn simulate(px: usize, py: usize, buffers: usize) -> f64 {
 }
 
 #[inline]
-fn bank_hash(k: usize, x: usize, y: usize, banks: usize) -> usize {
+pub(crate) fn bank_hash(k: usize, x: usize, y: usize, banks: usize) -> usize {
     // Well-mixed address hash (SCNN banks accumulator addresses so that
     // neighbouring output coordinates spread across banks; 2× banking then
     // makes residual conflicts rare).
-    let mut h = (k as u64) << 32 | (x as u64) << 16 | y as u64;
+    let mut h = to_count(k) << 32 | to_count(x) << 16 | to_count(y);
     h = h.wrapping_add(0x9e3779b97f4a7c15);
     h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
-    (h ^ (h >> 31)) as usize % banks
+    to_index((h ^ (h >> 31)) % to_count(banks))
 }
 
 #[cfg(test)]

@@ -7,10 +7,10 @@
 //! overhead — which is all the layer-level `max(compute, memory)` overlap
 //! model consumes.
 
-use serde::Serialize;
+use crate::error::SimError;
 
 /// DRAM channel parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DramConfig {
     /// Peak bandwidth in bytes/second (DDR3-1600 x64 ≈ 12.8 GB/s).
     pub peak_bytes_per_s: f64,
@@ -28,17 +28,62 @@ pub struct DramConfig {
     pub banks: usize,
 }
 
+cscnn_json::impl_to_json!(DramConfig {
+    peak_bytes_per_s,
+    row_bytes,
+    row_penalty_s,
+    sequential_fraction,
+    burst_bytes,
+    banks,
+});
+
+cscnn_json::impl_from_json!(DramConfig {
+    peak_bytes_per_s,
+    row_bytes,
+    row_penalty_s,
+    sequential_fraction,
+    burst_bytes,
+    banks,
+});
+
 impl DramConfig {
     /// DDR3-1600 with mostly-sequential accelerator traffic.
     pub fn ddr3_1600() -> Self {
-        DramConfig {
+        let cfg = DramConfig {
             peak_bytes_per_s: 12.8e9,
             row_bytes: 8192,
             row_penalty_s: 27.5e-9,
             sequential_fraction: 0.9,
             burst_bytes: 64,
             banks: 8,
+        };
+        debug_assert!(cfg.validate().is_ok(), "DDR3-1600 config must validate");
+        cfg
+    }
+
+    /// Checks that the channel parameters are physical: positive finite
+    /// bandwidth and penalties, non-zero row/burst/bank geometry, and a
+    /// sequential fraction in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let err = |field: &'static str, reason: &'static str| {
+            Err(SimError::InvalidConfig { field, reason })
+        };
+        if !(self.peak_bytes_per_s.is_finite() && self.peak_bytes_per_s > 0.0) {
+            return err("peak_bytes_per_s", "must be positive and finite");
         }
+        if !(self.row_penalty_s.is_finite() && self.row_penalty_s >= 0.0) {
+            return err("row_penalty_s", "must be non-negative and finite");
+        }
+        if !(0.0..=1.0).contains(&self.sequential_fraction) {
+            return err("sequential_fraction", "must be in [0, 1]");
+        }
+        if self.row_bytes == 0 || self.burst_bytes == 0 {
+            return err("row_bytes/burst_bytes", "must be non-zero");
+        }
+        if self.banks == 0 {
+            return err("banks", "must be non-zero");
+        }
+        Ok(())
     }
 
     /// Time to transfer `bytes` of accelerator traffic.
@@ -114,5 +159,27 @@ mod tests {
             assert!(t > prev);
             prev = t;
         }
+    }
+
+    #[test]
+    fn validation_rejects_unphysical_channels() {
+        assert!(DramConfig::ddr3_1600().validate().is_ok());
+        let mut d = DramConfig::ddr3_1600();
+        d.peak_bytes_per_s = 0.0;
+        assert!(d.validate().is_err());
+        let mut d = DramConfig::ddr3_1600();
+        d.sequential_fraction = 1.5;
+        assert!(d.validate().is_err());
+        let mut d = DramConfig::ddr3_1600();
+        d.banks = 0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn dram_config_round_trips_through_json() {
+        let d = DramConfig::ddr3_1600();
+        let json = cscnn_json::to_string(&d).expect("serialize");
+        let back: DramConfig = cscnn_json::from_str(&json).expect("parse");
+        assert_eq!(back, d);
     }
 }

@@ -5,12 +5,10 @@
 //! DRAM energy uses the widely cited ~20 pJ/bit figure from the same table.
 //! All values are picojoules.
 
-use serde::Serialize;
-
 use crate::ArchConfig;
 
 /// Per-operation energy constants (pJ), 45 nm, 16-bit datapath.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyTable {
     /// One 16-bit integer multiply.
     pub mult_pj: f64,
@@ -59,8 +57,17 @@ impl Default for EnergyTable {
     }
 }
 
+cscnn_json::impl_to_json!(EnergyTable {
+    mult_pj,
+    add_pj,
+    dram_pj_per_bit,
+    crossbar_pj,
+    ccu_pj,
+    ppu_pj,
+});
+
 /// Raw event counts collected while simulating one layer or network.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EnergyCounters {
     /// Multiplications issued.
     pub mults: u64,
@@ -103,9 +110,23 @@ impl EnergyCounters {
     }
 }
 
+cscnn_json::impl_to_json!(EnergyCounters {
+    mults,
+    adds,
+    wb_reads,
+    ib_reads,
+    ab_accesses,
+    ob_writes,
+    crossbar_words,
+    ccu_ops,
+    ppu_ops,
+    index_reads,
+    dram_bits,
+});
+
 /// Energy in picojoules, broken down three ways (Fig. 9) and by component
 /// (Fig. 10).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Arithmetic (multiplier array + adders).
     pub compute_pj: f64,
@@ -153,8 +174,26 @@ impl EnergyBreakdown {
     }
 }
 
+cscnn_json::impl_to_json!(EnergyBreakdown {
+    compute_pj,
+    memory_pj,
+    others_pj,
+    dram_pj,
+    mul_array_pj,
+    ib_ob_pj,
+    wb_pj,
+    ab_pj,
+    crossbar_pj,
+    ccu_pj,
+    ppu_pj,
+});
+
 /// Converts raw counters into an energy breakdown for a given architecture.
-pub fn energy_of(counters: &EnergyCounters, cfg: &ArchConfig, table: &EnergyTable) -> EnergyBreakdown {
+pub fn energy_of(
+    counters: &EnergyCounters,
+    cfg: &ArchConfig,
+    table: &EnergyTable,
+) -> EnergyBreakdown {
     let wb_word = table.sram_pj(cfg.wb_bytes);
     let ib_word = table.sram_pj(cfg.ib_ob_bytes);
     // The accumulator buffer is heavily banked for parallel accumulation
@@ -165,7 +204,8 @@ pub fn energy_of(counters: &EnergyCounters, cfg: &ArchConfig, table: &EnergyTabl
     let add = counters.adds as f64 * table.add_pj;
     let wb = counters.wb_reads as f64 * wb_word;
     // Index metadata is narrower than a word; charge proportionally.
-    let index = counters.index_reads as f64 * wb_word * (cfg.index_bits as f64 / cfg.word_bits as f64);
+    let index =
+        counters.index_reads as f64 * wb_word * (cfg.index_bits as f64 / cfg.word_bits as f64);
     let ib = counters.ib_reads as f64 * ib_word;
     let ob = counters.ob_writes as f64 * ib_word;
     let ab = counters.ab_accesses as f64 * ab_word;
@@ -225,9 +265,8 @@ mod tests {
         let e = energy_of(&c, &cfg, &t);
         assert!(e.compute_pj > 0.0 && e.memory_pj > 0.0 && e.others_pj > 0.0);
         // Component view must sum to the three-way view (on-chip).
-        let by_component = e.mul_array_pj + e.ib_ob_pj + e.wb_pj + e.ab_pj + e.crossbar_pj
-            + e.ccu_pj
-            + e.ppu_pj;
+        let by_component =
+            e.mul_array_pj + e.ib_ob_pj + e.wb_pj + e.ab_pj + e.crossbar_pj + e.ccu_pj + e.ppu_pj;
         assert!((by_component - e.on_chip_pj()).abs() < 1e-6);
         assert!((e.dram_pj - 20.0e6).abs() < 1e-3);
     }

@@ -1,0 +1,65 @@
+//! Typed errors for the simulator's hot paths.
+//!
+//! The detailed PE pipeline and the config/DRAM validation paths report
+//! malformed inputs through [`SimError`] instead of panicking, per the
+//! `no-panic-in-hot-path` lint rule: a bad fiber coordinate or an
+//! inconsistent configuration is a caller bug the simulator must surface
+//! as data, not abort a long batch run on.
+
+use std::fmt;
+
+/// A simulation input the model cannot process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A compressed-fiber coordinate lies outside the PE geometry.
+    FiberOutOfRange {
+        /// Which coordinate was out of range (`"weight row"`, …).
+        what: &'static str,
+        /// The offending value.
+        got: usize,
+        /// The exclusive upper bound the geometry allows.
+        limit: usize,
+    },
+    /// A configuration field (or combination) is invalid.
+    InvalidConfig {
+        /// The offending field or relation.
+        field: &'static str,
+        /// Why it is rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::FiberOutOfRange { what, got, limit } => {
+                write!(f, "{what} {got} out of range (limit {limit})")
+            }
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: {field} {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = SimError::FiberOutOfRange {
+            what: "weight row",
+            got: 9,
+            limit: 3,
+        };
+        assert_eq!(e.to_string(), "weight row 9 out of range (limit 3)");
+        let e = SimError::InvalidConfig {
+            field: "num_pes",
+            reason: "must be non-zero",
+        };
+        assert!(e.to_string().contains("num_pes"));
+    }
+}

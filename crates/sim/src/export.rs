@@ -1,4 +1,4 @@
-//! Result export: JSON (full fidelity, via serde) and CSV (per-layer rows
+//! Result export: JSON (full fidelity, via `cscnn-json`) and CSV (per-layer rows
 //! for external plotting).
 
 use std::io::Write;
@@ -12,8 +12,8 @@ use crate::report::RunStats;
 ///
 /// Returns an error if serialization fails (practically impossible for
 /// these types).
-pub fn to_json(runs: &[RunStats]) -> Result<String, serde_json::Error> {
-    serde_json::to_string_pretty(runs)
+pub fn to_json(runs: &[RunStats]) -> Result<String, cscnn_json::Error> {
+    cscnn_json::to_string_pretty(runs)
 }
 
 /// Writes runs as JSON to `path`.
@@ -78,14 +78,19 @@ mod tests {
     fn json_round_trips_key_fields() {
         let runs = sample_runs();
         let json = to_json(&runs).expect("serializable");
-        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let parsed: cscnn_json::Value = cscnn_json::from_str(&json).expect("valid JSON");
         assert_eq!(parsed[0]["accelerator"], "CSCNN");
         assert_eq!(parsed[0]["model"], "LeNet-5");
         assert_eq!(
             parsed[0]["layers"].as_array().expect("layers").len(),
             runs[0].layers.len()
         );
-        assert!(parsed[0]["layers"][0]["compute_cycles"].as_u64().expect("cycles") > 0);
+        assert!(
+            parsed[0]["layers"][0]["compute_cycles"]
+                .as_u64()
+                .expect("cycles")
+                > 0
+        );
     }
 
     #[test]
@@ -107,8 +112,12 @@ mod tests {
         let cpath = dir.join("runs.csv");
         write_json(&runs, &jpath).expect("write json");
         write_csv(&runs, &cpath).expect("write csv");
-        assert!(std::fs::read_to_string(&jpath).expect("read").contains("CSCNN"));
-        assert!(std::fs::read_to_string(&cpath).expect("read").contains("LeNet-5"));
+        assert!(std::fs::read_to_string(&jpath)
+            .expect("read")
+            .contains("CSCNN"));
+        assert!(std::fs::read_to_string(&cpath)
+            .expect("read")
+            .contains("LeNet-5"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

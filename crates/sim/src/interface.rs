@@ -1,11 +1,11 @@
 //! The accelerator abstraction shared by CSCNN and all baselines.
 
 use cscnn_models::CompressionScheme;
-use serde::Serialize;
 
 use crate::dram::DramConfig;
 use crate::energy::EnergyTable;
 use crate::report::LayerStats;
+use crate::util;
 use crate::workload::LayerWorkload;
 use crate::ArchConfig;
 
@@ -31,7 +31,7 @@ pub struct LayerContext<'a> {
 }
 
 /// A Table IV row: the qualitative characteristics of an accelerator.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Characteristics {
     /// Compression approach.
     pub compression: &'static str,
@@ -40,6 +40,12 @@ pub struct Characteristics {
     /// Inner spatial dataflow.
     pub dataflow: &'static str,
 }
+
+cscnn_json::impl_to_json!(Characteristics {
+    compression,
+    sparsity,
+    dataflow,
+});
 
 /// A simulated accelerator.
 pub trait Accelerator: Send + Sync {
@@ -90,13 +96,13 @@ impl TrafficModel {
     pub fn dram_bits(&self, ctx: &LayerContext<'_>) -> u64 {
         let w = ctx.workload;
         let cfg = ctx.cfg;
-        let word = cfg.word_bits as u64;
+        let word = util::to_count(cfg.word_bits);
         let weight_bits = if self.compressed_weights {
             w.weight_storage_bytes(cfg.word_bits, cfg.index_bits) * 8
         } else {
-            let stored = w.layer.k as u64
-                * (w.layer.c / w.layer.groups) as u64
-                * w.stored_per_slice as u64;
+            let stored = util::to_count(w.layer.k)
+                * util::to_count(w.layer.c / w.layer.groups)
+                * util::to_count(w.stored_per_slice);
             stored * word
         };
         let act_bits_base = if self.compressed_acts {
@@ -107,15 +113,15 @@ impl TrafficModel {
         let act_bits = if ctx.input_on_chip {
             0
         } else {
-            (act_bits_base as f64 * self.act_amplification) as u64
+            util::count_from_f64(act_bits_base as f64 * self.act_amplification)
         };
         let out_bits = if ctx.output_fits_on_chip {
             0
         } else {
-            (w.layer.output_activations() as f64 * w.act_density) as u64 * word
+            util::count_from_f64(w.layer.output_activations() as f64 * w.act_density) * word
         };
-        let wb_total_bits = (cfg.wb_bytes * cfg.num_pes()) as u64 * 8;
-        let glb_bits = cfg.glb_bytes as u64 * 8;
+        let wb_total_bits = util::to_bytes(cfg.wb_bytes * cfg.num_pes()) * 8;
+        let glb_bits = util::to_bytes(cfg.glb_bytes) * 8;
         let streamed = if weight_bits > wb_total_bits && act_bits > glb_bits {
             let weight_passes = act_bits.div_ceil(glb_bits);
             let act_passes = weight_bits.div_ceil(wb_total_bits);
@@ -226,8 +232,8 @@ mod tests {
         // And it charges the cheaper stationary choice, not the pricier.
         let weight_passes = act_bits.div_ceil((cfg.glb_bytes * 8) as u64);
         let act_passes = weight_bits.div_ceil((cfg.wb_bytes * cfg.num_pes() * 8) as u64);
-        let cheaper = (weight_bits * weight_passes + act_bits)
-            .min(weight_bits + act_bits * act_passes);
+        let cheaper =
+            (weight_bits * weight_passes + act_bits).min(weight_bits + act_bits * act_passes);
         assert_eq!(total, cheaper);
     }
 

@@ -1,4 +1,10 @@
 #![warn(missing_docs)]
+// Accounting exactness: narrowing casts in this crate must go through
+// `util`'s checked helpers (see docs/static_analysis.md). The workspace
+// sets these clippy lints to "warn"; the accounting crates escalate.
+#![deny(clippy::cast_possible_truncation)]
+#![deny(clippy::cast_sign_loss)]
+#![deny(clippy::cast_possible_wrap)]
 
 //! # cscnn-sim
 //!
@@ -44,6 +50,7 @@ mod config;
 pub mod crossbar;
 pub mod dram;
 pub mod energy;
+pub mod error;
 pub mod export;
 pub mod hybrid;
 pub mod interface;
@@ -54,11 +61,13 @@ pub mod roofline;
 mod runner;
 pub mod tiling;
 pub mod trace;
+pub mod util;
 pub mod validation;
 pub mod workload;
 
 pub use accelerator::CartesianAccelerator;
 pub use config::ArchConfig;
+pub use error::SimError;
 pub use interface::{Accelerator, Characteristics, LayerContext};
 pub use report::{geomean, LayerStats, RunStats};
 pub use runner::Runner;

@@ -14,6 +14,7 @@
 //! and skip the extra work.
 
 use crate::energy::EnergyCounters;
+use crate::util::{count_from_f64, cycles_from_f64, to_count};
 
 /// Per-PE simulation result.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -59,8 +60,8 @@ impl CartesianPe {
     pub fn run_conv(&self, channels: &[(u64, u64)], outputs: u64) -> PeResult {
         let mut cycles_f = 0.0f64;
         let mut c = EnergyCounters::default();
-        let px = self.px as u64;
-        let py = self.py as u64;
+        let px = to_count(self.px);
+        let py = to_count(self.py);
         for &(w, a) in channels {
             if w == 0 || a == 0 {
                 continue;
@@ -70,7 +71,7 @@ impl CartesianPe {
             cycles_f += rounds as f64 * self.stall_factor;
             let products = w * a;
             let dual_ops = if self.dual {
-                (products as f64 * (1.0 - self.self_dual_frac)).round() as u64
+                count_from_f64((products as f64 * (1.0 - self.self_dual_frac)).round())
             } else {
                 0
             };
@@ -95,7 +96,7 @@ impl CartesianPe {
         c.ab_accesses += outputs * drain_ops;
         cycles_f += outputs as f64 / (px * py) as f64;
         PeResult {
-            cycles: cycles_f.ceil() as u64,
+            cycles: cycles_from_f64(cycles_f.ceil()),
             counters: c,
         }
     }
@@ -109,7 +110,7 @@ impl CartesianPe {
         c.ppu_ops += 2 * halo_outputs; // send + merge
         c.ab_accesses += 2 * halo_outputs; // read here, accumulate there
         PeResult {
-            cycles: halo_outputs.div_ceil((self.px * self.py) as u64),
+            cycles: halo_outputs.div_ceil(to_count(self.px * self.py)),
             counters: c,
         }
     }
@@ -120,8 +121,8 @@ impl CartesianPe {
     /// throughput collapses to `Px` MACs/cycle, with zero activations
     /// skipped via the compressed activation stream.
     pub fn run_fc(&self, weight_nnz: u64, act_density: f64, outputs: u64) -> PeResult {
-        let products = (weight_nnz as f64 * act_density).round() as u64;
-        let px = self.px as u64;
+        let products = count_from_f64((weight_nnz as f64 * act_density).round());
+        let px = to_count(self.px);
         let rounds = products.div_ceil(px);
         let mut c = EnergyCounters::default();
         c.mults += products;
@@ -135,7 +136,8 @@ impl CartesianPe {
         c.ob_writes += outputs;
         c.ppu_ops += outputs;
         PeResult {
-            cycles: (rounds as f64 * self.stall_factor).ceil() as u64 + outputs / (px * self.py as u64),
+            cycles: cycles_from_f64((rounds as f64 * self.stall_factor).ceil())
+                + outputs / (px * to_count(self.py)),
             counters: c,
         }
     }
@@ -159,7 +161,7 @@ mod tests {
     fn exact_vectors_need_no_fragmentation() {
         let r = pe(false).run_conv(&[(8, 8)], 0);
         // 2 weight vectors × 2 act vectors = 4 rounds, + channel setup.
-        assert_eq!(r.cycles, 4 + CHANNEL_SETUP_CYCLES as u64);
+        assert_eq!(r.cycles, 4 + cycles_from_f64(CHANNEL_SETUP_CYCLES));
         assert_eq!(r.counters.mults, 64);
         assert_eq!(r.counters.adds, 64);
     }
@@ -169,7 +171,7 @@ mod tests {
         let r = pe(false).run_conv(&[(5, 5)], 0);
         // ⌈5/4⌉ = 2 each way → 4 rounds for 25 products (39% utilization),
         // + channel setup.
-        assert_eq!(r.cycles, 4 + CHANNEL_SETUP_CYCLES as u64);
+        assert_eq!(r.cycles, 4 + cycles_from_f64(CHANNEL_SETUP_CYCLES));
         assert_eq!(r.counters.mults, 25);
     }
 
@@ -197,7 +199,7 @@ mod tests {
         p.stall_factor = 1.5;
         let r = p.run_conv(&[(16, 16)], 0);
         // 16 rounds × 1.5 + channel setup.
-        assert_eq!(r.cycles, 24 + CHANNEL_SETUP_CYCLES as u64);
+        assert_eq!(r.cycles, 24 + cycles_from_f64(CHANNEL_SETUP_CYCLES));
     }
 
     #[test]

@@ -15,7 +15,10 @@
 
 use cscnn_sparse::SparseSlice;
 
+use crate::crossbar::bank_hash;
 use crate::energy::EnergyCounters;
+use crate::error::SimError;
+use crate::util::{to_coord, to_count, to_lane};
 
 /// FIFO depth per accumulator bank (matches [`crate::crossbar`]).
 const FIFO_DEPTH: usize = 6;
@@ -105,17 +108,14 @@ pub fn ccu_coords(
     x: usize,
     y: usize,
 ) -> ((usize, usize), Option<(usize, usize)>) {
-    let primary = (
-        x + geo.kernel_h - 1 - w.r as usize,
-        y + geo.kernel_w - 1 - w.s as usize,
-    );
+    let (r, s) = (usize::from(w.r), usize::from(w.s));
+    let primary = (x + geo.kernel_h - 1 - r, y + geo.kernel_w - 1 - s);
     let dual = if geo.dual {
-        let self_dual = (w.r as usize) * 2 == geo.kernel_h - 1
-            && (w.s as usize) * 2 == geo.kernel_w - 1;
+        let self_dual = r * 2 == geo.kernel_h - 1 && s * 2 == geo.kernel_w - 1;
         if self_dual {
             None
         } else {
-            Some((x + w.r as usize, y + w.s as usize))
+            Some((x + r, y + s))
         }
     } else {
         None
@@ -125,10 +125,15 @@ pub fn ccu_coords(
 
 /// Runs the detailed simulation of one PE over all input channels.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any fiber coordinate is out of range for the geometry.
-pub fn simulate_detailed(geo: &PeGeometry, channels: &[ChannelFibers]) -> DetailedResult {
+/// Returns [`SimError::FiberOutOfRange`] if any fiber coordinate is out of
+/// range for the geometry (malformed compressed data must not silently
+/// corrupt accounting, and the hot path must not panic).
+pub fn simulate_detailed(
+    geo: &PeGeometry,
+    channels: &[ChannelFibers],
+) -> Result<DetailedResult, SimError> {
     let banks = 2 * geo.px * geo.py;
     let buffers = if geo.dual { 2 } else { 1 };
     let acc_len = geo.acc_h() * geo.acc_w();
@@ -145,39 +150,53 @@ pub fn simulate_detailed(geo: &PeGeometry, channels: &[ChannelFibers]) -> Detail
             continue;
         }
         // Channel setup: fiber pointer swap (matches the fast model).
-        cycles += crate::pe::CHANNEL_SETUP_CYCLES as u64;
+        cycles += crate::util::cycles_from_f64(crate::pe::CHANNEL_SETUP_CYCLES);
         // Input-stationary order: hold an activation vector, stream all
         // weight vectors past it.
         for act_vec in fibers.acts.chunks(geo.py) {
-            c.ib_reads += geo.py as u64;
+            c.ib_reads += to_count(geo.py);
             for w_vec in fibers.weights.chunks(geo.px) {
-                c.wb_reads += geo.px as u64;
-                c.index_reads += geo.px as u64;
+                c.wb_reads += to_count(geo.px);
+                c.index_reads += to_count(geo.px);
                 // Compute all products of the round and their bank targets.
                 let mut incoming = vec![vec![0usize; banks]; buffers];
                 for w in w_vec {
-                    assert!((w.r as usize) < geo.kernel_h && (w.s as usize) < geo.kernel_w);
-                    assert!((w.k as usize) < geo.k_count, "k out of range");
+                    let (r, sc, k) = (usize::from(w.r), usize::from(w.s), usize::from(w.k));
+                    if r >= geo.kernel_h {
+                        return Err(fiber_err("weight kernel row", r, geo.kernel_h));
+                    }
+                    if sc >= geo.kernel_w {
+                        return Err(fiber_err("weight kernel column", sc, geo.kernel_w));
+                    }
+                    if k >= geo.k_count {
+                        return Err(fiber_err("weight output channel", k, geo.k_count));
+                    }
                     for &(x, y, a) in act_vec {
-                        assert!((x as usize) < geo.tile_h && (y as usize) < geo.tile_w);
+                        let (xi, yi) = (usize::from(x), usize::from(y));
+                        if xi >= geo.tile_h {
+                            return Err(fiber_err("activation row", xi, geo.tile_h));
+                        }
+                        if yi >= geo.tile_w {
+                            return Err(fiber_err("activation column", yi, geo.tile_w));
+                        }
                         let product = w.value * a;
                         c.mults += 1;
-                        let (p, dual) = ccu_coords(geo, w, x as usize, y as usize);
+                        let (p, dual) = ccu_coords(geo, w, xi, yi);
                         let addr = p.0 * geo.acc_w() + p.1;
-                        partial_sums[w.k as usize][addr] += product;
+                        partial_sums[k][addr] += product;
                         c.adds += 1;
                         c.ab_accesses += 1;
                         c.crossbar_words += 1;
                         c.ccu_ops += 1;
-                        incoming[0][bank_of(w.k as usize, p.0, p.1, banks)] += 1;
+                        incoming[0][bank_hash(k, p.0, p.1, banks)] += 1;
                         if let Some(d) = dual {
                             let daddr = d.0 * geo.acc_w() + d.1;
-                            partial_sums[w.k as usize][daddr] += product;
+                            partial_sums[k][daddr] += product;
                             c.adds += 1;
                             c.ab_accesses += 1;
                             c.crossbar_words += 1;
                             c.ccu_ops += 1;
-                            incoming[1][bank_of(w.k as usize, d.0, d.1, banks)] += 1;
+                            incoming[1][bank_hash(k, d.0, d.1, banks)] += 1;
                         }
                     }
                 }
@@ -209,29 +228,23 @@ pub fn simulate_detailed(geo: &PeGeometry, channels: &[ChannelFibers]) -> Detail
         }
     }
     // Drain the accumulator planes through the PPU into the OB.
-    let outputs = (geo.k_count * acc_len) as u64;
+    let outputs = to_count(geo.k_count * acc_len);
     let drain_ops: u64 = if geo.dual { 3 } else { 1 };
     c.ob_writes += outputs;
     c.ppu_ops += outputs * drain_ops;
     c.ab_accesses += outputs * drain_ops;
-    cycles += outputs / (geo.px * geo.py) as u64;
-    DetailedResult {
+    cycles += outputs / to_count(geo.px * geo.py);
+    Ok(DetailedResult {
         cycles,
         stall_cycles: stalls,
         counters: c,
         partial_sums,
-    }
+    })
 }
 
-/// Bank mapping: identical hash to [`crate::crossbar`] so the two models
-/// agree on contention behaviour.
 #[inline]
-fn bank_of(k: usize, x: usize, y: usize, banks: usize) -> usize {
-    let mut h = (k as u64) << 32 | (x as u64) << 16 | y as u64;
-    h = h.wrapping_add(0x9e3779b97f4a7c15);
-    h = (h ^ (h >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    h = (h ^ (h >> 27)).wrapping_mul(0x94d049bb133111eb);
-    (h ^ (h >> 31)) as usize % banks
+fn fiber_err(what: &'static str, got: usize, limit: usize) -> SimError {
+    SimError::FiberOutOfRange { what, got, limit }
 }
 
 /// Builds [`ChannelFibers`] from per-channel sparse slices: one weight
@@ -242,16 +255,16 @@ pub fn fibers_from_slices(weight_slices: &[SparseSlice], act_tile: &SparseSlice)
     for (k, slice) in weight_slices.iter().enumerate() {
         for (r, s, v) in slice.iter() {
             weights.push(WeightEntry {
-                k: k as u16,
-                r: r as u8,
-                s: s as u8,
+                k: to_lane(k),
+                r: to_coord(r),
+                s: to_coord(s),
                 value: v,
             });
         }
     }
     let acts = act_tile
         .iter()
-        .map(|(x, y, v)| (x as u16, y as u16, v))
+        .map(|(x, y, v)| (to_lane(x), to_lane(y), v))
         .collect();
     ChannelFibers { weights, acts }
 }
@@ -259,28 +272,24 @@ pub fn fibers_from_slices(weight_slices: &[SparseSlice], act_tile: &SparseSlice)
 /// Reference full-mode convolution of one channel into halo-extended
 /// partial-sum planes — the functional ground truth the detailed PE must
 /// reproduce.
-pub fn reference_partial_sums(
-    geo: &PeGeometry,
-    channels: &[ChannelFibers],
-) -> Vec<Vec<f32>> {
+pub fn reference_partial_sums(geo: &PeGeometry, channels: &[ChannelFibers]) -> Vec<Vec<f32>> {
     let acc_len = geo.acc_h() * geo.acc_w();
     let mut out = vec![vec![0.0f32; acc_len]; geo.k_count];
     for fibers in channels {
         for w in &fibers.weights {
+            let (r, s) = (usize::from(w.r), usize::from(w.s));
             for &(x, y, a) in &fibers.acts {
-                let ox = x as usize + geo.kernel_h - 1 - w.r as usize;
-                let oy = y as usize + geo.kernel_w - 1 - w.s as usize;
-                out[w.k as usize][ox * geo.acc_w() + oy] += w.value * a;
+                let (xi, yi) = (usize::from(x), usize::from(y));
+                let ox = xi + geo.kernel_h - 1 - r;
+                let oy = yi + geo.kernel_w - 1 - s;
+                out[usize::from(w.k)][ox * geo.acc_w() + oy] += w.value * a;
                 if geo.dual {
                     // The dual weight has the same value; its contribution
                     // lands at the mirrored offset (Eq. 3) — unless this is
                     // the self-dual center.
-                    let self_dual = (w.r as usize) * 2 == geo.kernel_h - 1
-                        && (w.s as usize) * 2 == geo.kernel_w - 1;
+                    let self_dual = r * 2 == geo.kernel_h - 1 && s * 2 == geo.kernel_w - 1;
                     if !self_dual {
-                        let dx = x as usize + w.r as usize;
-                        let dy = y as usize + w.s as usize;
-                        out[w.k as usize][dx * geo.acc_w() + dy] += w.value * a;
+                        out[usize::from(w.k)][(xi + r) * geo.acc_w() + (yi + s)] += w.value * a;
                     }
                 }
             }
@@ -308,7 +317,13 @@ mod tests {
         }
     }
 
-    fn random_channels(geo: &PeGeometry, n: usize, wd: f64, ad: f64, seed: u64) -> Vec<ChannelFibers> {
+    fn random_channels(
+        geo: &PeGeometry,
+        n: usize,
+        wd: f64,
+        ad: f64,
+        seed: u64,
+    ) -> Vec<ChannelFibers> {
         let mut rng = sample::rng(seed);
         (0..n)
             .map(|_| {
@@ -318,18 +333,13 @@ mod tests {
                             // CSCNN stores unique weights: sample over the
                             // canonical half by sampling a centro slice and
                             // keeping the unique positions.
-                            let full = sample::centro_slice(
-                                &mut rng,
-                                geo.kernel_h,
-                                geo.kernel_w,
-                                wd,
-                            );
+                            let full =
+                                sample::centro_slice(&mut rng, geo.kernel_h, geo.kernel_w, wd);
                             let dense = full.to_dense();
                             let mut half = vec![0.0f32; dense.len()];
-                            for (u, v) in cscnn_sparse::centro::unique_positions(
-                                geo.kernel_h,
-                                geo.kernel_w,
-                            ) {
+                            for (u, v) in
+                                cscnn_sparse::centro::unique_positions(geo.kernel_h, geo.kernel_w)
+                            {
                                 half[u * geo.kernel_w + v] = dense[u * geo.kernel_w + v];
                             }
                             SparseSlice::from_dense(&half, geo.kernel_h, geo.kernel_w)
@@ -348,7 +358,7 @@ mod tests {
     fn partial_sums_match_reference_scnn_mode() {
         let geo = geometry(false);
         let channels = random_channels(&geo, 6, 0.5, 0.5, 1);
-        let result = simulate_detailed(&geo, &channels);
+        let result = simulate_detailed(&geo, &channels).expect("fibers in range");
         let reference = reference_partial_sums(&geo, &channels);
         for (got, want) in result.partial_sums.iter().zip(&reference) {
             for (g, w) in got.iter().zip(want) {
@@ -361,7 +371,7 @@ mod tests {
     fn partial_sums_match_reference_cscnn_mode() {
         let geo = geometry(true);
         let channels = random_channels(&geo, 6, 0.6, 0.5, 2);
-        let result = simulate_detailed(&geo, &channels);
+        let result = simulate_detailed(&geo, &channels).expect("fibers in range");
         let reference = reference_partial_sums(&geo, &channels);
         for (got, want) in result.partial_sums.iter().zip(&reference) {
             for (g, w) in got.iter().zip(want) {
@@ -402,8 +412,8 @@ mod tests {
                 }
             })
             .collect();
-        let dual = simulate_detailed(&geo_dual, &channels_dual);
-        let full = simulate_detailed(&geo_full, &channels_full);
+        let dual = simulate_detailed(&geo_dual, &channels_dual).expect("fibers in range");
+        let full = simulate_detailed(&geo_full, &channels_full).expect("fibers in range");
         for (a, b) in dual.partial_sums.iter().zip(&full.partial_sums) {
             for (x, y) in a.iter().zip(b) {
                 assert!((x - y).abs() < 1e-4, "reuse must be numerically exact");
@@ -419,7 +429,7 @@ mod tests {
     fn fast_model_work_counts_match_detailed_exactly() {
         let geo = geometry(false);
         let channels = random_channels(&geo, 8, 0.4, 0.5, 4);
-        let detailed = simulate_detailed(&geo, &channels);
+        let detailed = simulate_detailed(&geo, &channels).expect("fibers in range");
         let fast = CartesianPe {
             px: geo.px,
             py: geo.py,
@@ -445,7 +455,7 @@ mod tests {
         for (dual, seed) in [(false, 5u64), (true, 6), (false, 7), (true, 8)] {
             let geo = geometry(dual);
             let channels = random_channels(&geo, 10, 0.5, 0.5, seed);
-            let detailed = simulate_detailed(&geo, &channels);
+            let detailed = simulate_detailed(&geo, &channels).expect("fibers in range");
             let stall = crate::crossbar::stall_factor(geo.px, geo.py, if dual { 2 } else { 1 });
             let fast = CartesianPe {
                 px: geo.px,
@@ -474,7 +484,7 @@ mod tests {
     fn stalls_are_rare_with_double_banking() {
         let geo = geometry(true);
         let channels = random_channels(&geo, 10, 0.6, 0.6, 9);
-        let result = simulate_detailed(&geo, &channels);
+        let result = simulate_detailed(&geo, &channels).expect("fibers in range");
         // Dual mode at a tiny k-range (4 output channels) is the worst
         // case for bank spread; even so the 2x banking keeps stalls in the
         // low tens of percent, not a serialization collapse.

@@ -1,11 +1,10 @@
 //! Simulation result types and derived metrics.
 
-use serde::Serialize;
-
 use crate::energy::{EnergyBreakdown, EnergyCounters};
+use crate::util::det_sum;
 
 /// Results of simulating one layer on one accelerator.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LayerStats {
     /// Layer name.
     pub name: String,
@@ -33,13 +32,22 @@ impl LayerStats {
         if self.compute_cycles == 0 {
             return 0.0;
         }
-        self.effective_mults as f64
-            / (self.compute_cycles as f64 * total_multipliers as f64)
+        self.effective_mults as f64 / (self.compute_cycles as f64 * total_multipliers as f64)
     }
 }
 
+cscnn_json::impl_to_json!(LayerStats {
+    name,
+    compute_cycles,
+    dram_time_s,
+    time_s,
+    effective_mults,
+    counters,
+    energy,
+});
+
 /// Results of simulating a whole network on one accelerator.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Accelerator name.
     pub accelerator: String,
@@ -49,28 +57,36 @@ pub struct RunStats {
     pub layers: Vec<LayerStats>,
 }
 
+cscnn_json::impl_to_json!(RunStats {
+    accelerator,
+    model,
+    layers,
+});
+
 impl RunStats {
-    /// Total latency in seconds.
+    /// Total latency in seconds. Summed in layer order with compensation
+    /// ([`det_sum`]) so totals are bit-identical run to run.
     pub fn total_time_s(&self) -> f64 {
-        self.layers.iter().map(|l| l.time_s).sum()
+        det_sum(self.layers.iter().map(|l| l.time_s))
     }
 
     /// Total compute cycles.
     pub fn total_cycles(&self) -> u64 {
-        self.layers.iter().map(|l| l.compute_cycles).sum()
+        self.layers.iter().map(|l| l.compute_cycles).sum::<u64>()
     }
 
     /// Total on-chip energy in pJ (the Fig. 9 quantity; DRAM excluded).
     pub fn total_on_chip_pj(&self) -> f64 {
-        self.layers.iter().map(|l| l.energy.on_chip_pj()).sum()
+        det_sum(self.layers.iter().map(|l| l.energy.on_chip_pj()))
     }
 
     /// Total energy including DRAM, in pJ.
     pub fn total_pj(&self) -> f64 {
-        self.layers
-            .iter()
-            .map(|l| l.energy.on_chip_pj() + l.energy.dram_pj)
-            .sum()
+        det_sum(
+            self.layers
+                .iter()
+                .map(|l| l.energy.on_chip_pj() + l.energy.dram_pj),
+        )
     }
 
     /// Aggregated energy breakdown.
@@ -111,8 +127,11 @@ impl RunStats {
 /// Panics on an empty slice or non-positive values.
 pub fn geomean(factors: &[f64]) -> f64 {
     assert!(!factors.is_empty(), "geomean of empty slice");
-    assert!(factors.iter().all(|&f| f > 0.0), "geomean needs positive values");
-    (factors.iter().map(|f| f.ln()).sum::<f64>() / factors.len() as f64).exp()
+    assert!(
+        factors.iter().all(|&f| f > 0.0),
+        "geomean needs positive values"
+    );
+    (det_sum(factors.iter().map(|f| f.ln())) / factors.len() as f64).exp()
 }
 
 #[cfg(test)]

@@ -8,13 +8,12 @@
 //! sit right of it).
 
 use cscnn_models::LayerDesc;
-use serde::Serialize;
 
 use crate::dram::DramConfig;
 use crate::ArchConfig;
 
 /// One layer's position on the roofline.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RooflinePoint {
     /// Layer name.
     pub layer: String,
@@ -30,14 +29,28 @@ pub struct RooflinePoint {
     pub memory_bound: bool,
 }
 
+cscnn_json::impl_to_json!(RooflinePoint {
+    layer,
+    macs,
+    bytes,
+    intensity,
+    attainable_macs_per_s,
+    memory_bound,
+});
+
 /// The machine's roofline parameters.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Roofline {
     /// Peak MAC/s (multipliers × frequency).
     pub peak_macs_per_s: f64,
     /// Peak DRAM bytes/s.
     pub peak_bytes_per_s: f64,
 }
+
+cscnn_json::impl_to_json!(Roofline {
+    peak_macs_per_s,
+    peak_bytes_per_s,
+});
 
 impl Roofline {
     /// Builds the roofline of an architecture + DRAM pairing.
@@ -56,7 +69,11 @@ impl Roofline {
 
     /// Classifies one layer given its effective MAC count and DRAM bytes.
     pub fn point(&self, layer: &LayerDesc, macs: f64, bytes: f64) -> RooflinePoint {
-        let intensity = if bytes > 0.0 { macs / bytes } else { f64::INFINITY };
+        let intensity = if bytes > 0.0 {
+            macs / bytes
+        } else {
+            f64::INFINITY
+        };
         let memory_ceiling = intensity * self.peak_bytes_per_s;
         let attainable = memory_ceiling.min(self.peak_macs_per_s);
         RooflinePoint {
@@ -83,7 +100,10 @@ mod tests {
         let r = roofline();
         // 64 multipliers × 800 MHz = 51.2 GMAC/s; DDR3-1600 = 12.8 GB/s.
         assert!((r.peak_macs_per_s - 51.2e9).abs() < 1e6);
-        assert!((r.ridge_intensity() - 4.0).abs() < 1e-9, "ridge at 4 MACs/byte");
+        assert!(
+            (r.ridge_intensity() - 4.0).abs() < 1e-9,
+            "ridge at 4 MACs/byte"
+        );
     }
 
     #[test]
@@ -100,9 +120,8 @@ mod tests {
         // Conv: weights reused across the whole plane → intensity >> ridge.
         let conv = LayerDesc::conv("c", 64, 64, 3, 3, 56, 56, 1, 1);
         let macs = conv.dense_mults() as f64;
-        let bytes = (conv.weights() + conv.input_activations() + conv.output_activations())
-            as f64
-            * 2.0;
+        let bytes =
+            (conv.weights() + conv.input_activations() + conv.output_activations()) as f64 * 2.0;
         let p = r.point(&conv, macs, bytes);
         assert!(!p.memory_bound, "conv must be compute-bound");
         assert_eq!(p.attainable_macs_per_s, r.peak_macs_per_s);

@@ -6,6 +6,7 @@ use crate::dram::DramConfig;
 use crate::energy::EnergyTable;
 use crate::interface::{Accelerator, LayerContext};
 use crate::report::RunStats;
+use crate::util;
 use crate::workload::LayerWorkload;
 
 /// Drives layer-by-layer simulation of whole networks across accelerators.
@@ -87,9 +88,9 @@ impl Runner {
                 profile.weight_density[i],
                 profile.activation_density[i],
                 centro,
-                self.seed ^ ((i as u64) << 20) ^ model_hash(&model.name),
+                self.seed ^ (util::to_count(i) << 20) ^ model_hash(&model.name),
             );
-            let out_bytes = layer.output_activations() as usize * cfg.word_bits / 8;
+            let out_bytes = util::to_index(layer.output_activations()) * cfg.word_bits / 8;
             let output_fits = out_bytes <= cfg.glb_bytes;
             let ctx = LayerContext {
                 cfg: &cfg,
@@ -133,8 +134,9 @@ impl Runner {
 }
 
 fn model_hash(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
 }
 
 #[cfg(test)]
@@ -177,10 +179,7 @@ mod tests {
             for (ai, acc) in accs.iter().enumerate() {
                 let seq = runner.run_model(acc.as_ref(), model);
                 assert_eq!(seq.total_cycles(), parallel[mi][ai].total_cycles());
-                assert_eq!(
-                    seq.total_on_chip_pj(),
-                    parallel[mi][ai].total_on_chip_pj()
-                );
+                assert_eq!(seq.total_on_chip_pj(), parallel[mi][ai].total_on_chip_pj());
             }
         }
     }

@@ -47,9 +47,7 @@ pub struct PeAssignment {
 fn split(total: usize, parts: usize) -> Vec<usize> {
     let base = total / parts;
     let rem = total % parts;
-    (0..parts)
-        .map(|i| base + usize::from(i < rem))
-        .collect()
+    (0..parts).map(|i| base + usize::from(i < rem)).collect()
 }
 
 /// Greedy longest-processing-time balancing: assigns items (by weight,
@@ -274,7 +272,11 @@ mod tests {
         let plan_p = plan(&cfg, &ws, TilingStrategy::Mixed, true);
         assert!(plan_p.iter().all(|p| p.tile_pixels == 16 * 28));
         let total_k: usize = plan_p.iter().map(|p| p.k_set.len()).sum();
-        assert_eq!(total_k, 2 * 2, "each filter replicated per sub-array PE pair");
+        assert_eq!(
+            total_k,
+            2 * 2,
+            "each filter replicated per sub-array PE pair"
+        );
     }
 
     #[test]

@@ -2,30 +2,23 @@
 //! Perfetto-compatible timeline, one lane per accelerator, one slice per
 //! layer (with compute vs DRAM attribution in the slice arguments).
 
-use serde::Serialize;
+use cscnn_json::{ToJson, Value};
 
 use crate::report::RunStats;
+use crate::util::to_count;
 
-/// One Chrome trace event (the "X" complete-event form).
-#[derive(Serialize)]
-struct TraceEvent<'a> {
-    name: &'a str,
-    ph: &'static str,
-    /// Timestamp in microseconds.
-    ts: f64,
-    /// Duration in microseconds.
-    dur: f64,
-    pid: u32,
-    tid: u32,
-    args: TraceArgs,
-}
-
-#[derive(Serialize)]
-struct TraceArgs {
-    compute_cycles: u64,
-    dram_time_us: f64,
-    effective_mults: u64,
-    bound: &'static str,
+/// Builds one Chrome trace event (the "X" complete-event form).
+fn trace_event(name: &str, ts_us: f64, dur_us: f64, tid: usize, args: Value) -> Value {
+    Value::Obj(vec![
+        ("name".to_string(), name.to_json()),
+        ("ph".to_string(), "X".to_json()),
+        // Timestamps and durations are in microseconds.
+        ("ts".to_string(), ts_us.to_json()),
+        ("dur".to_string(), dur_us.to_json()),
+        ("pid".to_string(), Value::U64(0)),
+        ("tid".to_string(), Value::U64(to_count(tid))),
+        ("args".to_string(), args),
+    ])
 }
 
 /// Renders runs as Chrome trace JSON. Each run occupies its own thread
@@ -34,34 +27,36 @@ struct TraceArgs {
 /// # Errors
 ///
 /// Returns a serialization error (practically impossible).
-pub fn to_chrome_trace(runs: &[RunStats]) -> Result<String, serde_json::Error> {
+pub fn to_chrome_trace(runs: &[RunStats]) -> Result<String, cscnn_json::Error> {
     let mut events = Vec::new();
     for (tid, run) in runs.iter().enumerate() {
         let mut cursor_us = 0.0f64;
         for layer in &run.layers {
             let dur = layer.time_s * 1e6;
-            events.push(TraceEvent {
-                name: &layer.name,
-                ph: "X",
-                ts: cursor_us,
-                dur,
-                pid: 0,
-                tid: tid as u32,
-                args: TraceArgs {
-                    compute_cycles: layer.compute_cycles,
-                    dram_time_us: layer.dram_time_s * 1e6,
-                    effective_mults: layer.effective_mults,
-                    bound: if layer.dram_time_s * 1e6 >= dur {
-                        "memory"
+            let args = Value::Obj(vec![
+                ("compute_cycles".to_string(), layer.compute_cycles.to_json()),
+                (
+                    "dram_time_us".to_string(),
+                    (layer.dram_time_s * 1e6).to_json(),
+                ),
+                (
+                    "effective_mults".to_string(),
+                    layer.effective_mults.to_json(),
+                ),
+                (
+                    "bound".to_string(),
+                    if layer.dram_time_s * 1e6 >= dur {
+                        "memory".to_json()
                     } else {
-                        "compute"
+                        "compute".to_json()
                     },
-                },
-            });
+                ),
+            ]);
+            events.push(trace_event(&layer.name, cursor_us, dur, tid, args));
             cursor_us += dur;
         }
     }
-    serde_json::to_string(&events)
+    cscnn_json::to_string(&Value::Arr(events))
 }
 
 /// Writes the Chrome trace to `path` (open in `chrome://tracing` or
@@ -89,12 +84,11 @@ mod tests {
             runner.run_model(&CartesianAccelerator::cscnn(), &catalog::lenet5()),
         ];
         let json = to_chrome_trace(&runs).expect("serializable");
-        let events: serde_json::Value = serde_json::from_str(&json).expect("valid");
+        let events: cscnn_json::Value = cscnn_json::from_str(&json).expect("valid");
         let arr = events.as_array().expect("array");
         assert_eq!(arr.len(), 2 * runs[0].layers.len());
         // Slices within one lane are back-to-back and non-overlapping.
-        let lane0: Vec<&serde_json::Value> =
-            arr.iter().filter(|e| e["tid"] == 0).collect();
+        let lane0: Vec<&cscnn_json::Value> = arr.iter().filter(|e| e["tid"] == 0).collect();
         let mut cursor = 0.0;
         for e in lane0 {
             let ts = e["ts"].as_f64().expect("ts");
@@ -104,10 +98,7 @@ mod tests {
             cursor = ts + dur;
         }
         // FC layers are flagged memory-bound.
-        let fc = arr
-            .iter()
-            .find(|e| e["name"] == "F5")
-            .expect("F5 present");
+        let fc = arr.iter().find(|e| e["name"] == "F5").expect("F5 present");
         assert_eq!(fc["args"]["bound"], "memory");
     }
 }

@@ -9,14 +9,16 @@
 //! cycles and work counts track the detailed model — the grounding for the
 //! calibrated constants the fast model uses.
 
+use cscnn_rng::rngs::StdRng;
+use cscnn_rng::seq::SliceRandom;
+use cscnn_rng::SeedableRng;
 use cscnn_sparse::centro::unique_positions;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use crate::energy::EnergyCounters;
+use crate::error::SimError;
 use crate::pe_detailed::{simulate_detailed, ChannelFibers, PeGeometry, WeightEntry};
 use crate::tiling::{self, TilingStrategy};
+use crate::util::{to_coord, to_index, to_lane};
 use crate::workload::LayerWorkload;
 use crate::ArchConfig;
 
@@ -39,12 +41,17 @@ pub struct DetailedLayerResult {
 ///
 /// Panics for FC layers, strided or grouped layers (the validation scope is
 /// unit-stride dense convolution).
+///
+/// # Errors
+///
+/// Propagates [`SimError::FiberOutOfRange`] from the detailed PE model if a
+/// materialized fiber falls outside the layer geometry.
 pub fn simulate_layer_detailed(
     cfg: &ArchConfig,
     workload: &LayerWorkload,
     dual: bool,
     seed: u64,
-) -> DetailedLayerResult {
+) -> Result<DetailedLayerResult, SimError> {
     let layer = &workload.layer;
     assert_eq!(layer.stride, 1, "validation covers unit-stride layers");
     assert_eq!(layer.groups, 1, "validation covers ungrouped layers");
@@ -84,14 +91,14 @@ pub fn simulate_layer_detailed(
             // workload's nnz positions for this (k, c) slice.
             let mut weights = Vec::new();
             for (local_k, &k) in assign.k_set.iter().enumerate() {
-                let nnz = workload.weight_nnz(k, c) as usize;
+                let nnz = to_index(workload.weight_nnz(k, c));
                 let mut pos = positions.clone();
                 pos.shuffle(&mut rng);
                 for &(r, s) in pos.iter().take(nnz) {
                     weights.push(WeightEntry {
-                        k: local_k as u16,
-                        r: r as u8,
-                        s: s as u8,
+                        k: to_lane(local_k),
+                        r: to_coord(r),
+                        s: to_coord(s),
                         value: 1.0,
                     });
                 }
@@ -99,9 +106,9 @@ pub fn simulate_layer_detailed(
             // The fast path streams weights in fiber order; sort to match.
             weights.sort_by_key(|w| (w.k, w.r, w.s));
             // Activations: exactly the workload's tile nnz.
-            let a_nnz = workload.act_tile_nnz(c, assign.tile_id, assign.tile_pixels) as usize;
+            let a_nnz = to_index(workload.act_tile_nnz(c, assign.tile_id, assign.tile_pixels));
             let mut act_pos: Vec<(u16, u16)> = (0..layer.h)
-                .flat_map(|y| (0..layer.w).map(move |x| (y as u16, x as u16)))
+                .flat_map(|y| (0..layer.w).map(move |x| (to_lane(y), to_lane(x))))
                 .collect();
             act_pos.shuffle(&mut rng);
             let acts = act_pos
@@ -111,14 +118,14 @@ pub fn simulate_layer_detailed(
                 .collect();
             channels.push(ChannelFibers { weights, acts });
         }
-        let result = simulate_detailed(&geo, &channels);
+        let result = simulate_detailed(&geo, &channels)?;
         max_cycles = max_cycles.max(result.cycles);
         counters.merge(&result.counters);
     }
-    DetailedLayerResult {
+    Ok(DetailedLayerResult {
         compute_cycles: max_cycles,
         counters,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -130,10 +137,7 @@ mod tests {
     use crate::CartesianAccelerator;
     use cscnn_models::LayerDesc;
 
-    fn fast_cycles_and_mults(
-        acc: &CartesianAccelerator,
-        wl: &LayerWorkload,
-    ) -> (u64, u64) {
+    fn fast_cycles_and_mults(acc: &CartesianAccelerator, wl: &LayerWorkload) -> (u64, u64) {
         let cfg = acc.config();
         let dram = DramConfig::default();
         let energy = EnergyTable::default();
@@ -155,7 +159,8 @@ mod tests {
         let wl = LayerWorkload::synthesize(&layer, 0.5, 0.5, false, 21);
         let acc = CartesianAccelerator::scnn().with_tiling(TilingStrategy::OutputChannel);
         let (fast_cycles, fast_mults) = fast_cycles_and_mults(&acc, &wl);
-        let detailed = simulate_layer_detailed(&acc.config(), &wl, false, 21);
+        let detailed =
+            simulate_layer_detailed(&acc.config(), &wl, false, 21).expect("fibers in range");
         assert_eq!(
             fast_mults, detailed.counters.mults,
             "work counts must agree exactly"
@@ -175,7 +180,8 @@ mod tests {
         assert!(wl.centro);
         let acc = CartesianAccelerator::cscnn().with_tiling(TilingStrategy::OutputChannel);
         let (fast_cycles, fast_mults) = fast_cycles_and_mults(&acc, &wl);
-        let detailed = simulate_layer_detailed(&acc.config(), &wl, true, 22);
+        let detailed =
+            simulate_layer_detailed(&acc.config(), &wl, true, 22).expect("fibers in range");
         assert_eq!(fast_mults, detailed.counters.mults);
         // Dual accumulations agree within the self-dual estimate (the fast
         // model uses an expected fraction; the detailed model counts the

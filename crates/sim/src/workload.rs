@@ -9,8 +9,10 @@
 //! query them without pre-materialization.
 
 use cscnn_models::LayerDesc;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cscnn_rng::rngs::StdRng;
+use cscnn_rng::{Rng, SeedableRng};
+
+use crate::util::{count_from_f64, nnz_from_f64, to_count, to_nnz};
 
 /// Synthesized sparse structure of one layer under one compression scheme.
 #[derive(Clone, Debug)]
@@ -48,7 +50,10 @@ impl LayerWorkload {
         centro: bool,
         seed: u64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&weight_density), "weight density in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&weight_density),
+            "weight density in [0,1]"
+        );
         assert!((0.0..=1.0).contains(&act_density), "act density in [0,1]");
         let effective_centro = centro && layer.centro_eligible();
         let rs = layer.r * layer.s;
@@ -101,9 +106,9 @@ impl LayerWorkload {
     /// Total non-zero stored weights in this layer.
     pub fn total_weight_nnz(&self) -> u64 {
         if self.fc_nnz.is_empty() {
-            self.weight_nnz.iter().map(|&x| x as u64).sum()
+            self.weight_nnz.iter().map(|&x| u64::from(x)).sum()
         } else {
-            self.fc_nnz.iter().map(|&x| x as u64).sum()
+            self.fc_nnz.iter().map(|&x| u64::from(x)).sum()
         }
     }
 
@@ -112,9 +117,9 @@ impl LayerWorkload {
     pub fn filter_nnz(&self, k: usize) -> u64 {
         if self.fc_nnz.is_empty() {
             let cg = self.c_per_group();
-            (0..cg).map(|c| self.weight_nnz(k, c) as u64).sum()
+            (0..cg).map(|c| u64::from(self.weight_nnz(k, c))).sum()
         } else {
-            self.fc_nnz[k] as u64
+            u64::from(self.fc_nnz[k])
         }
     }
 
@@ -130,7 +135,7 @@ impl LayerWorkload {
     /// ≈ 64 pixels). This systematic per-tile variation is what makes
     /// planar tiling load-imbalance — the inter-PE barrier of §III-C.
     pub fn act_tile_nnz(&self, c: usize, tile_id: usize, tile_len: usize) -> u32 {
-        let h = splitmix(self.seed ^ ((c as u64) << 32) ^ (tile_id as u64).wrapping_mul(0x9e37));
+        let h = splitmix(self.seed ^ (to_count(c) << 32) ^ to_count(tile_id).wrapping_mul(0x9e37));
         let mut rng = StdRng::seed_from_u64(h);
         let sigma = 0.5 / (tile_len as f64 / 64.0).max(1.0).sqrt();
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -143,19 +148,19 @@ impl LayerWorkload {
 
     /// Total non-zero input activations (expected value, used for traffic).
     pub fn total_act_nnz(&self) -> u64 {
-        (self.layer.input_activations() as f64 * self.act_density).round() as u64
+        count_from_f64((self.layer.input_activations() as f64 * self.act_density).round())
     }
 
     /// Bytes of stored weights including run-length index metadata.
     pub fn weight_storage_bytes(&self, word_bits: usize, index_bits: usize) -> u64 {
         let nnz = self.total_weight_nnz();
-        (nnz * (word_bits + index_bits) as u64).div_ceil(8)
+        (nnz * to_count(word_bits + index_bits)).div_ceil(8)
     }
 
     /// Bytes of compressed input activations including indices.
     pub fn act_storage_bytes(&self, word_bits: usize, index_bits: usize) -> u64 {
         let nnz = self.total_act_nnz();
-        (nnz * (word_bits + index_bits) as u64).div_ceil(8)
+        (nnz * to_count(word_bits + index_bits)).div_ceil(8)
     }
 }
 
@@ -165,17 +170,17 @@ fn binomial<R: Rng>(rng: &mut R, n: usize, p: f64) -> u32 {
         return 0;
     }
     if p >= 1.0 {
-        return n as u32;
+        return to_nnz(n);
     }
     let np = n as f64 * p;
     if n <= 64 || np < 10.0 || (n as f64 * (1.0 - p)) < 10.0 {
-        (0..n).filter(|_| rng.gen_bool(p)).count() as u32
+        to_nnz((0..n).filter(|_| rng.gen_bool(p)).count())
     } else {
         let sigma = (np * (1.0 - p)).sqrt();
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        (np + sigma * z).round().clamp(0.0, n as f64) as u32
+        nnz_from_f64((np + sigma * z).round().clamp(0.0, n as f64))
     }
 }
 

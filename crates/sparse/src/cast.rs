@@ -1,0 +1,81 @@
+//! Checked narrowing conversions for the sparse data structures.
+//!
+//! The same policy as `cscnn-sim`'s `util` module (see
+//! `docs/static_analysis.md`): bare `as` narrowing casts are banned in this
+//! crate by the `no-narrowing-cast` rule of `cscnn-lint`. Conversions go
+//! through `try_from`-based helpers that panic on out-of-range values in
+//! debug builds and saturate in release builds, so malformed sizes can
+//! never silently wrap a coordinate or a storage count.
+//!
+//! This file is the one place in `cscnn-sparse` allowed to write the raw
+//! casts (it is the allowlisted implementation of the rule).
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
+/// Narrows to the `u16` coordinate width used by [`crate::SparseSlice`].
+#[inline]
+pub fn to_coord<T: TryInto<u16>>(x: T) -> u16 {
+    match x.try_into() {
+        Ok(v) => v,
+        Err(_) => {
+            debug_assert!(false, "coordinate out of u16 range");
+            u16::MAX
+        }
+    }
+}
+
+/// Narrows to the `u8` zero-run / relative-index field width used by the
+/// compressed encodings.
+#[inline]
+pub fn to_run<T: TryInto<u8>>(x: T) -> u8 {
+    match x.try_into() {
+        Ok(v) => v,
+        Err(_) => {
+            debug_assert!(false, "run field out of u8 range");
+            u8::MAX
+        }
+    }
+}
+
+/// Converts an integer quantity into a `u64` storage-bit count.
+#[inline]
+pub fn to_bits<T: TryInto<u64>>(x: T) -> u64 {
+    match x.try_into() {
+        Ok(v) => v,
+        Err(_) => {
+            debug_assert!(false, "bit count out of u64 range");
+            u64::MAX
+        }
+    }
+}
+
+/// Converts an integer quantity into a `usize` index or extent.
+#[inline]
+pub fn to_index<T: TryInto<usize>>(x: T) -> usize {
+    match x.try_into() {
+        Ok(v) => v,
+        Err(_) => {
+            debug_assert!(false, "index out of usize range");
+            usize::MAX
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_exact_in_range() {
+        assert_eq!(to_coord(65_535usize), 65_535);
+        assert_eq!(to_run(255usize), 255);
+        assert_eq!(to_bits(7usize), 7);
+        assert_eq!(to_index(9u32), 9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of u8 range")]
+    fn out_of_range_run_panics_in_debug() {
+        let _ = to_run(256usize);
+    }
+}

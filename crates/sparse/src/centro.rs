@@ -77,6 +77,13 @@ pub fn project_mean(dense: &[f32], r: usize, s: usize) -> Vec<f32> {
         out[u * s + v] = m;
         out[du * s + dv] = m;
     }
+    // Postcondition (Eq. 2): the projection must land exactly on the
+    // centrosymmetric subspace — both members of a pair were assigned the
+    // same `m`, so exact equality is required, not a tolerance.
+    debug_assert!(
+        is_centrosymmetric(&out, r, s, 0.0),
+        "project_mean produced a non-centrosymmetric slice"
+    );
     out
 }
 
@@ -96,6 +103,12 @@ pub fn tie_gradients(grad: &mut [f32], r: usize, s: usize) {
         grad[u * s + v] = m;
         grad[du * s + dv] = m;
     }
+    // Postcondition (Eq. 7): a tied gradient is itself centrosymmetric, so
+    // updates can never push a filter off the constraint surface.
+    debug_assert!(
+        is_centrosymmetric(grad, r, s, 0.0),
+        "tie_gradients produced a non-centrosymmetric gradient"
+    );
 }
 
 /// Compressed storage for one centrosymmetric `r × s` filter slice: only the
@@ -192,6 +205,12 @@ impl CentroFilter {
             out[u * self.cols + v] = w;
             out[du * self.cols + dv] = w;
         }
+        // Half-form storage is centrosymmetric by construction (Eq. 2);
+        // verify the positional expansion preserved that.
+        debug_assert!(
+            is_centrosymmetric(&out, self.rows, self.cols, 0.0),
+            "expanded CentroFilter violates W(u,v) == W(R-1-u,S-1-v)"
+        );
         out
     }
 }
@@ -268,6 +287,34 @@ mod tests {
         // Pair (0,0)/(2,2): (1+9)/2 = 5.
         assert_eq!(g[0], 5.0);
         assert_eq!(g[8], 5.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of 3x3")]
+    fn dual_rejects_out_of_range_coordinates_in_debug() {
+        let _ = dual(3, 0, 3, 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-centrosymmetric gradient")]
+    fn tie_gradients_detects_nan_poisoning_in_debug() {
+        // A NaN gradient cannot be tied into a centrosymmetric pair
+        // (NaN != NaN); the Eq. 7 postcondition must catch it rather than
+        // let a poisoned update silently break the constraint surface.
+        let mut g = vec![0.0f32; 9];
+        g[0] = f32::NAN;
+        tie_gradients(&mut g, 3, 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-centrosymmetric slice")]
+    fn project_mean_detects_nan_poisoning_in_debug() {
+        let mut d = vec![1.0f32; 9];
+        d[4] = f32::NAN;
+        let _ = project_mean(&d, 3, 3);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Zero-run-length compressed vectors (the SCNN/CSCNN storage format).
 
+use crate::cast::{to_index, to_run};
+
 /// A compressed sparse vector storing non-zero values and the count of zeros
 /// preceding each one.
 ///
@@ -45,15 +47,15 @@ impl RleVector {
                 run += 1;
                 continue;
             }
-            while run > max_run as usize {
+            while run > usize::from(max_run) {
                 entries.push((max_run, 0.0));
-                run -= max_run as usize;
+                run -= usize::from(max_run);
                 // The placeholder itself occupies one element position? No:
                 // a placeholder is a zero *value*, so it consumes one zero
                 // from the run.
                 run = run.saturating_sub(1);
             }
-            entries.push((run as u8, v));
+            entries.push((to_run(run), v));
             run = 0;
         }
         // Trailing zeros need no entries: the logical length is stored, so
@@ -100,7 +102,7 @@ impl RleVector {
     /// Storage size in bits given a value width and the run-field width
     /// implied by `max_run`.
     pub fn storage_bits(&self, value_bits: usize) -> usize {
-        let run_bits = 8 - self.max_run.leading_zeros() as usize;
+        let run_bits = 8 - to_index(self.max_run.leading_zeros());
         self.entries.len() * (value_bits + run_bits)
     }
 
@@ -108,7 +110,7 @@ impl RleVector {
     pub fn iter(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
         let mut pos = 0usize;
         self.entries.iter().filter_map(move |&(run, v)| {
-            pos += run as usize;
+            pos += usize::from(run);
             let idx = pos;
             pos += 1;
             (v != 0.0).then_some((idx, v))

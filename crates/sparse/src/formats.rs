@@ -17,6 +17,7 @@
 //! win at moderate density (1 bit/position beats 4+ bits/non-zero), run
 //! encodings win when very sparse.
 
+use crate::cast::{to_bits, to_run};
 use crate::RleVector;
 
 /// SparTen-style bitmask encoding: a dense presence bitmap plus the packed
@@ -52,7 +53,7 @@ impl BitmaskVector {
 
     /// Storage in bits: one mask bit per dense position + packed values.
     pub fn storage_bits(&self, value_bits: usize) -> u64 {
-        self.mask.len() as u64 + (self.values.len() * value_bits) as u64
+        to_bits(self.mask.len()) + to_bits(self.values.len() * value_bits)
     }
 
     /// Reconstructs the dense vector.
@@ -124,12 +125,12 @@ impl CscVector {
             if v == 0.0 {
                 gap += 1;
                 if gap > max_gap {
-                    entries.push((max_gap as u8, 0.0));
+                    entries.push((to_run(max_gap), 0.0));
                     gap = 0;
                 }
                 continue;
             }
-            entries.push((gap as u8, v));
+            entries.push((to_run(gap), v));
             gap = 0;
         }
         CscVector {
@@ -161,7 +162,7 @@ impl CscVector {
 
     /// Storage in bits.
     pub fn storage_bits(&self, value_bits: usize) -> u64 {
-        (self.entries.len() * (value_bits + self.index_bits as usize)) as u64
+        to_bits(self.entries.len() * (value_bits + crate::cast::to_index(self.index_bits)))
     }
 
     /// Reconstructs the dense vector.
@@ -169,7 +170,7 @@ impl CscVector {
         let mut out = vec![0.0f32; self.len];
         let mut pos = 0usize;
         for &(gap, v) in &self.entries {
-            pos += gap as usize;
+            pos += usize::from(gap);
             if v != 0.0 {
                 out[pos] = v;
             }
@@ -198,10 +199,10 @@ pub fn storage_bits_comparison(dense: &[f32]) -> FormatComparison {
     let bm = BitmaskVector::encode(dense);
     let csc = CscVector::encode(dense, 4);
     FormatComparison {
-        rle_bits: rle.storage_bits(16) as u64,
+        rle_bits: to_bits(rle.storage_bits(16)),
         bitmask_bits: bm.storage_bits(16),
         csc_bits: csc.storage_bits(16),
-        dense_bits: (dense.len() * 16) as u64,
+        dense_bits: to_bits(dense.len() * 16),
     }
 }
 

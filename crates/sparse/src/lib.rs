@@ -1,4 +1,11 @@
 #![warn(missing_docs)]
+// Coordinate/storage exactness: narrowing casts in this crate must go
+// through `cast`'s checked helpers (see docs/static_analysis.md). The
+// workspace sets these clippy lints to "warn"; the accounting crates
+// escalate.
+#![deny(clippy::cast_possible_truncation)]
+#![deny(clippy::cast_sign_loss)]
+#![deny(clippy::cast_possible_wrap)]
 
 //! # cscnn-sparse
 //!
@@ -28,6 +35,7 @@
 //! assert_eq!(rle.decode(), dense);
 //! ```
 
+pub mod cast;
 pub mod centro;
 mod encoding;
 pub mod formats;

@@ -6,9 +6,10 @@
 //! helpers synthesize slices at a target density with a seeded RNG so every
 //! experiment is reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cscnn_rng::rngs::StdRng;
+use cscnn_rng::{Rng, SeedableRng};
 
+use crate::cast::to_coord;
 use crate::centro::{dual, unique_positions};
 use crate::SparseSlice;
 
@@ -32,7 +33,7 @@ pub fn bernoulli_slice<R: Rng>(rng: &mut R, rows: usize, cols: usize, density: f
     for r in 0..rows {
         for c in 0..cols {
             if rng.gen_bool(density) {
-                entries.push((r as u16, c as u16, rng.gen_range(0.1..=1.0f32)));
+                entries.push((to_coord(r), to_coord(c), rng.gen_range(0.1..=1.0f32)));
             }
         }
     }
@@ -59,8 +60,8 @@ pub fn exact_nnz_slice<R: Rng>(rng: &mut R, rows: usize, cols: usize, nnz: usize
         .into_iter()
         .map(|i| {
             (
-                (i / cols) as u16,
-                (i % cols) as u16,
+                to_coord(i / cols),
+                to_coord(i % cols),
                 rng.gen_range(0.1..=1.0f32),
             )
         })

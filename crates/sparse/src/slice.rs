@@ -1,5 +1,7 @@
 //! Coordinate-list view of a 2-D tensor slice.
 
+use crate::cast::to_coord;
+
 /// A sparse 2-D slice (filter slice `R×S` or activation tile `H×W`) stored as
 /// a coordinate list in row-major order.
 ///
@@ -29,17 +31,21 @@ impl SparseSlice {
     /// Panics if `dense.len() != rows * cols` or an extent exceeds `u16::MAX`.
     pub fn from_dense(dense: &[f32], rows: usize, cols: usize) -> Self {
         assert_eq!(dense.len(), rows * cols, "dense buffer length mismatch");
-        assert!(rows <= u16::MAX as usize && cols <= u16::MAX as usize);
+        assert!(rows <= usize::from(u16::MAX) && cols <= usize::from(u16::MAX));
         let mut entries = Vec::new();
         for r in 0..rows {
             for c in 0..cols {
                 let v = dense[r * cols + c];
                 if v != 0.0 {
-                    entries.push((r as u16, c as u16, v));
+                    entries.push((to_coord(r), to_coord(c), v));
                 }
             }
         }
-        SparseSlice { rows, cols, entries }
+        SparseSlice {
+            rows,
+            cols,
+            entries,
+        }
     }
 
     /// Builds directly from sorted coordinate entries.
@@ -51,14 +57,21 @@ impl SparseSlice {
     pub fn from_entries(entries: Vec<(u16, u16, f32)>, rows: usize, cols: usize) -> Self {
         let mut prev: Option<(u16, u16)> = None;
         for &(r, c, v) in &entries {
-            assert!((r as usize) < rows && (c as usize) < cols, "entry out of range");
+            assert!(
+                usize::from(r) < rows && usize::from(c) < cols,
+                "entry out of range"
+            );
             assert!(v != 0.0, "explicit zero entry");
             if let Some(p) = prev {
                 assert!((r, c) > p, "entries not strictly sorted");
             }
             prev = Some((r, c));
         }
-        SparseSlice { rows, cols, entries }
+        SparseSlice {
+            rows,
+            cols,
+            entries,
+        }
     }
 
     /// Row extent.
@@ -98,7 +111,7 @@ impl SparseSlice {
     /// Value at `(row, col)`, zero if absent.
     pub fn get(&self, row: usize, col: usize) -> f32 {
         self.entries
-            .binary_search_by_key(&(row as u16, col as u16), |&(r, c, _)| (r, c))
+            .binary_search_by_key(&(to_coord(row), to_coord(col)), |&(r, c, _)| (r, c))
             .map(|i| self.entries[i].2)
             .unwrap_or(0.0)
     }
@@ -107,14 +120,14 @@ impl SparseSlice {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         self.entries
             .iter()
-            .map(|&(r, c, v)| (r as usize, c as usize, v))
+            .map(|&(r, c, v)| (usize::from(r), usize::from(c), v))
     }
 
     /// Reconstructs the dense row-major buffer.
     pub fn to_dense(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.len()];
         for &(r, c, v) in &self.entries {
-            out[r as usize * self.cols + c as usize] = v;
+            out[usize::from(r) * self.cols + usize::from(c)] = v;
         }
         out
     }

@@ -34,7 +34,10 @@ impl ConvSpec {
     ///
     /// Panics if either kernel extent is zero.
     pub fn new(kernel_h: usize, kernel_w: usize) -> Self {
-        assert!(kernel_h > 0 && kernel_w > 0, "kernel extents must be positive");
+        assert!(
+            kernel_h > 0 && kernel_w > 0,
+            "kernel extents must be positive"
+        );
         ConvSpec {
             kernel_h,
             kernel_w,
@@ -267,7 +270,12 @@ pub fn conv2d_backward(
 }
 
 fn dims4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {
-    assert_eq!(t.shape().rank(), 4, "{what} must be rank 4, got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        4,
+        "{what} must be rank 4, got {}",
+        t.shape()
+    );
     let d = t.shape().dims();
     (d[0], d[1], d[2], d[3])
 }
@@ -296,12 +304,11 @@ mod tests {
                         for ci in 0..c {
                             for r in 0..spec.kernel_h {
                                 for s in 0..spec.kernel_w {
-                                    let iy = (oy * spec.stride + r) as isize
-                                        - spec.padding as isize;
-                                    let ix = (ox * spec.stride + s) as isize
-                                        - spec.padding as isize;
-                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
-                                    {
+                                    let iy =
+                                        (oy * spec.stride + r) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + s) as isize - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
                                     acc += input.at(&[ni, ci, iy as usize, ix as usize])
@@ -320,7 +327,9 @@ mod tests {
     #[test]
     fn forward_matches_reference_padded_strided() {
         for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 1), (2, 0)] {
-            let spec = ConvSpec::new(3, 3).with_stride(stride).with_padding(padding);
+            let spec = ConvSpec::new(3, 3)
+                .with_stride(stride)
+                .with_padding(padding);
             let input = seq(&[2, 3, 7, 8], 0.13);
             let weight = seq(&[4, 3, 3, 3], 0.29);
             let bias = seq(&[4], 0.7);

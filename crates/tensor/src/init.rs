@@ -1,6 +1,6 @@
 //! Weight initialization schemes.
 
-use rand::Rng;
+use cscnn_rng::Rng;
 
 use crate::Tensor;
 
@@ -10,7 +10,10 @@ use crate::Tensor;
 ///
 /// Panics if `bound` is negative or not finite.
 pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], bound: f32) -> Tensor {
-    assert!(bound.is_finite() && bound >= 0.0, "bound must be finite and non-negative");
+    assert!(
+        bound.is_finite() && bound >= 0.0,
+        "bound must be finite and non-negative"
+    );
     Tensor::from_fn(dims, |_| rng.gen_range(-bound..=bound))
 }
 
@@ -33,7 +36,12 @@ pub fn kaiming_uniform<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Te
 /// # Panics
 ///
 /// Panics if `fan_in + fan_out == 0`.
-pub fn xavier_uniform<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
     assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(rng, dims, bound)
@@ -42,8 +50,8 @@ pub fn xavier_uniform<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize, fan_ou
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cscnn_rng::rngs::StdRng;
+    use cscnn_rng::SeedableRng;
 
     #[test]
     fn uniform_respects_bound() {
@@ -58,7 +66,10 @@ mod tests {
         let wide = kaiming_uniform(&mut rng, &[1000], 9);
         let narrow = kaiming_uniform(&mut rng, &[1000], 900);
         assert!(wide.max() > narrow.max());
-        assert!(narrow.as_slice().iter().all(|x| x.abs() <= (6.0f32 / 900.0).sqrt()));
+        assert!(narrow
+            .as_slice()
+            .iter()
+            .all(|x| x.abs() <= (6.0f32 / 900.0).sqrt()));
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub use init::{kaiming_uniform, uniform, xavier_uniform};
 pub use matmul::{matmul, matmul_at, matmul_bt};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
 pub use shape::Shape;
-pub use winograd::{winograd_conv2d, DIRECT_MULTS_PER_OUTPUT, WINOGRAD_MULTS_PER_OUTPUT};
 pub use tensor::Tensor;
+pub use winograd::{winograd_conv2d, DIRECT_MULTS_PER_OUTPUT, WINOGRAD_MULTS_PER_OUTPUT};

@@ -101,7 +101,12 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
-    assert_eq!(t.shape().rank(), 2, "{what} must be rank 2, got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        2,
+        "{what} must be rank 2, got {}",
+        t.shape()
+    );
     (t.shape().dim(0), t.shape().dim(1))
 }
 

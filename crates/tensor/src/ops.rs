@@ -80,7 +80,10 @@ impl Tensor {
 
     /// Maximum element. At least one element always exists.
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Index of the maximum element (first occurrence).

@@ -47,8 +47,14 @@ impl PoolSpec {
 
     /// Output spatial extent for an `(h, w)` input.
     pub fn output_dim(&self, h: usize, w: usize) -> (usize, usize) {
-        assert!(h >= self.window && w >= self.window, "input smaller than window");
-        ((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1)
+        assert!(
+            h >= self.window && w >= self.window,
+            "input smaller than window"
+        );
+        (
+            (h - self.window) / self.stride + 1,
+            (w - self.window) / self.stride + 1,
+        )
     }
 }
 
@@ -77,8 +83,7 @@ pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>) {
                     let mut best_idx = 0usize;
                     for dy in 0..spec.window {
                         for dx in 0..spec.window {
-                            let idx =
-                                plane + (oy * spec.stride + dy) * w + ox * spec.stride + dx;
+                            let idx = plane + (oy * spec.stride + dy) * w + ox * spec.stride + dx;
                             if src[idx] > best {
                                 best = src[idx];
                                 best_idx = idx;
@@ -101,11 +106,7 @@ pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>) {
 /// # Panics
 ///
 /// Panics if `grad_out.len() != argmax.len()`.
-pub fn max_pool2d_backward(
-    grad_out: &Tensor,
-    argmax: &[usize],
-    input_dims: &[usize],
-) -> Tensor {
+pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_dims: &[usize]) -> Tensor {
     assert_eq!(grad_out.len(), argmax.len(), "grad/argmax length mismatch");
     let mut grad_in = Tensor::zeros(input_dims);
     let dst = grad_in.as_mut_slice();
@@ -138,8 +139,7 @@ pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Tensor {
                     let mut acc = 0.0f32;
                     for dy in 0..spec.window {
                         for dx in 0..spec.window {
-                            acc += src
-                                [plane + (oy * spec.stride + dy) * w + ox * spec.stride + dx];
+                            acc += src[plane + (oy * spec.stride + dy) * w + ox * spec.stride + dx];
                         }
                     }
                     dst[o] = acc * inv;
@@ -159,7 +159,11 @@ pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Tensor {
 pub fn avg_pool2d_backward(grad_out: &Tensor, input_dims: &[usize], spec: &PoolSpec) -> Tensor {
     let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
     let (oh, ow) = spec.output_dim(h, w);
-    assert_eq!(grad_out.shape().dims(), &[n, c, oh, ow], "grad_out shape mismatch");
+    assert_eq!(
+        grad_out.shape().dims(),
+        &[n, c, oh, ow],
+        "grad_out shape mismatch"
+    );
     let inv = 1.0 / (spec.window * spec.window) as f32;
     let mut grad_in = Tensor::zeros(input_dims);
     let src = grad_out.as_slice();
@@ -174,8 +178,7 @@ pub fn avg_pool2d_backward(grad_out: &Tensor, input_dims: &[usize], spec: &PoolS
                     o += 1;
                     for dy in 0..spec.window {
                         for dx in 0..spec.window {
-                            dst[plane + (oy * spec.stride + dy) * w + ox * spec.stride + dx] +=
-                                g;
+                            dst[plane + (oy * spec.stride + dy) * w + ox * spec.stride + dx] += g;
                         }
                     }
                 }

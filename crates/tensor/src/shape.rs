@@ -42,9 +42,9 @@ impl Shape {
         let mut acc = 1usize;
         for (stride, &dim) in strides.iter_mut().zip(dims.iter()).rev() {
             *stride = acc;
-            acc = acc
-                .checked_mul(dim)
-                .expect("shape element count overflows usize");
+            let next = acc.checked_mul(dim);
+            assert!(next.is_some(), "shape element count overflows usize");
+            acc = next.unwrap_or(usize::MAX);
         }
         Shape {
             dims: dims.to_vec(),

@@ -164,8 +164,7 @@ pub fn winograd_conv2d(
                     let dst = out.as_mut_slice();
                     for dy in 0..2 {
                         for dx in 0..2 {
-                            dst[((ni * k + ki) * oh + ty + dy) * ow + tx + dx] =
-                                y[dy * 2 + dx] + b;
+                            dst[((ni * k + ki) * oh + ty + dy) * ow + tx + dx] = y[dy * 2 + dx] + b;
                         }
                     }
                 }

@@ -13,7 +13,9 @@ use cscnn::models::{catalog, CompressionScheme, ModelCompression};
 use cscnn::sim::{baselines, CartesianAccelerator, Runner};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "vgg16".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vgg16".to_string());
     let model = catalog::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown model '{name}'; try alexnet, vgg16, resnet-18, ...");
         std::process::exit(1);
@@ -66,9 +68,9 @@ fn main() {
             stats.total_time_s() * 1e3,
             dcnn_time / stats.total_time_s(),
             stats.total_on_chip_pj() * 1e-6,
-            stats.edp_gain_over(&dcnn_stats).max(
-                dcnn_stats.edp() / stats.edp()
-            )
+            stats
+                .edp_gain_over(&dcnn_stats)
+                .max(dcnn_stats.edp() / stats.edp())
         );
     }
 

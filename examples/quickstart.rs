@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cscnn::prelude::*;
 use cscnn::nn::models;
+use cscnn::prelude::*;
 
 fn main() {
     // ---------------------------------------------------------------
@@ -22,12 +22,12 @@ fn main() {
         lr: 0.05,
         ..Default::default()
     };
-    let report = CompressionPipeline::new(config).run(
-        net,
-        &data,
-        &models::tiny_cnn_conv_inputs(16, 16),
+    let report =
+        CompressionPipeline::new(config).run(net, &data, &models::tiny_cnn_conv_inputs(16, 16));
+    println!(
+        "      baseline accuracy        : {:5.1} %",
+        100.0 * report.baseline_accuracy
     );
-    println!("      baseline accuracy        : {:5.1} %", 100.0 * report.baseline_accuracy);
     println!(
         "      after Eq. 5 projection    : {:5.1} %  (collapses, as in the paper)",
         100.0 * report.post_projection_accuracy
@@ -50,7 +50,10 @@ fn main() {
     let dcnn = runner.run_model(&baselines::dcnn(), &model);
     let scnn = runner.run_model(&CartesianAccelerator::scnn(), &model);
     let cscnn = runner.run_model(&CartesianAccelerator::cscnn(), &model);
-    println!("      {:8} {:>12} {:>14} {:>10}", "accel", "time (ms)", "energy (uJ)", "speedup");
+    println!(
+        "      {:8} {:>12} {:>14} {:>10}",
+        "accel", "time (ms)", "energy (uJ)", "speedup"
+    );
     for s in [&dcnn, &scnn, &cscnn] {
         println!(
             "      {:8} {:>12.3} {:>14.1} {:>9.2}x",

@@ -49,7 +49,10 @@ fn main() {
     }
 
     println!("\neffect of density-sorted filter balancing (mixed tiling):");
-    println!("  {:16} {:>12} {:>12} {:>8}", "model", "naive (ms)", "sorted (ms)", "gain");
+    println!(
+        "  {:16} {:>12} {:>12} {:>8}",
+        "model", "naive (ms)", "sorted (ms)", "gain"
+    );
     for model in &models {
         let naive = runner
             .run_model(&CartesianAccelerator::cscnn().with_balancing(false), model)

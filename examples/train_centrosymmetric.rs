@@ -72,8 +72,17 @@ fn main() {
 
     let mults = centrosymmetric::count_multiplications(&mut net, &models::lenet5_conv_inputs());
     println!("\nsummary:");
-    println!("  baseline       {:5.1} %", 100.0 * base.final_test_accuracy);
+    println!(
+        "  baseline       {:5.1} %",
+        100.0 * base.final_test_accuracy
+    );
     println!("  post-projection{:5.1} %", 100.0 * dropped);
-    println!("  retrained      {:5.1} %", 100.0 * recovered.final_test_accuracy);
-    println!("  conv multiplication reduction: {:.2}x", mults.centro_reduction());
+    println!(
+        "  retrained      {:5.1} %",
+        100.0 * recovered.final_test_accuracy
+    );
+    println!(
+        "  conv multiplication reduction: {:.2}x",
+        mults.centro_reduction()
+    );
 }

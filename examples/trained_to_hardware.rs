@@ -30,7 +30,10 @@ fn main() {
     });
     println!("[1/4] training ConvNet-S...");
     let base = trainer.fit(&mut net, &train, &test);
-    println!("      baseline accuracy {:.1} %", 100.0 * base.final_test_accuracy);
+    println!(
+        "      baseline accuracy {:.1} %",
+        100.0 * base.final_test_accuracy
+    );
     centrosymmetric::centrosymmetrize(&mut net);
     let _ = trainer.fit(&mut net, &train, &test);
     pruning::prune_network(
@@ -70,8 +73,15 @@ fn main() {
         Box::new(baselines::sparten()),
         Box::new(CartesianAccelerator::cscnn()),
     ];
-    let dcnn_time = simulate_trained(&mut net, "ConvNet-S", (3, 16, 16), &test, &baselines::dcnn(), 7)
-        .total_time_s();
+    let dcnn_time = simulate_trained(
+        &mut net,
+        "ConvNet-S",
+        (3, 16, 16),
+        &test,
+        &baselines::dcnn(),
+        7,
+    )
+    .total_time_s();
     println!("      {:10} {:>12} {:>10}", "accel", "time (us)", "speedup");
     for acc in &accs {
         let stats = simulate_trained(&mut net, "ConvNet-S", (3, 16, 16), &test, acc.as_ref(), 7);

@@ -38,8 +38,7 @@ fn rle_encoding_round_trips_network_weights() {
         for fiber in w.chunks(64.min(w.len())) {
             let rle = RleVector::encode(fiber, 15);
             assert_eq!(rle.decode(), fiber);
-            let density = fiber.iter().filter(|x| **x != 0.0).count() as f64
-                / fiber.len() as f64;
+            let density = fiber.iter().filter(|x| **x != 0.0).count() as f64 / fiber.len() as f64;
             assert!((rle.density() - density).abs() < 1e-12);
         }
     }
@@ -52,8 +51,7 @@ fn model_level_reduction_agrees_with_network_level_counting() {
     // the centrosymmetric reduction for matching geometry.
     let mut net = models::vgg_s(10, 79);
     centrosymmetric::centrosymmetrize(&mut net);
-    let counted =
-        centrosymmetric::count_multiplications(&mut net, &models::vgg_s_conv_inputs());
+    let counted = centrosymmetric::count_multiplications(&mut net, &models::vgg_s_conv_inputs());
     let ratio = counted.centro_reduction();
     // vgg_s is all 3x3 unit-stride convs + one FC: expect slightly under
     // the pure-conv 1.8.
@@ -68,10 +66,9 @@ fn scheme_reductions_are_ordered_for_every_model() {
     for model in catalog::evaluation_suite() {
         let dense = ModelCompression::new(model.clone(), CompressionScheme::Dense).reduction();
         let cs = ModelCompression::new(model.clone(), CompressionScheme::Cscnn).reduction();
-        let dc = ModelCompression::new(model.clone(), CompressionScheme::DeepCompression)
-            .reduction();
-        let cp =
-            ModelCompression::new(model.clone(), CompressionScheme::CscnnPruning).reduction();
+        let dc =
+            ModelCompression::new(model.clone(), CompressionScheme::DeepCompression).reduction();
+        let cp = ModelCompression::new(model.clone(), CompressionScheme::CscnnPruning).reduction();
         assert!((dense - 1.0).abs() < 1e-9, "{}", model.name);
         // The structural reduction is bounded by the fraction of MACs in
         // centrosymmetric-eligible (multi-weight, unit-stride) kernels:
@@ -87,9 +84,17 @@ fn scheme_reductions_are_ordered_for_every_model() {
             .sum::<f64>()
             / model.dense_mults() as f64;
         let expected_floor = 1.0 + 0.35 * eligible_frac; // conservative bound
-        assert!(cs >= expected_floor, "{}: cscnn {cs} < {expected_floor}", model.name);
+        assert!(
+            cs >= expected_floor,
+            "{}: cscnn {cs} < {expected_floor}",
+            model.name
+        );
         assert!(dc > 1.5, "{}: dc {dc}", model.name);
-        assert!(cp > cs, "{}: pruning must add on top of structure", model.name);
+        assert!(
+            cp > cs,
+            "{}: pruning must add on top of structure",
+            model.name
+        );
     }
 }
 
@@ -99,5 +104,8 @@ fn weight_storage_halves_under_centrosymmetric_scheme() {
     // because stored weights nearly halve on conv-dominated models.
     let mc_dc = ModelCompression::new(catalog::vgg16_cifar(), CompressionScheme::Cscnn);
     let compression = mc_dc.weight_compression();
-    assert!((1.6..=1.9).contains(&compression), "compression={compression}");
+    assert!(
+        (1.6..=1.9).contains(&compression),
+        "compression={compression}"
+    );
 }

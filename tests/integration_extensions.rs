@@ -13,8 +13,8 @@ use cscnn::sim::export;
 use cscnn::sim::hybrid::CscnnEie;
 use cscnn::sim::{baselines, Accelerator, CartesianAccelerator, Runner};
 use cscnn::tensor::{ConvSpec, PoolSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cscnn_rng::rngs::StdRng;
+use cscnn_rng::SeedableRng;
 
 #[test]
 fn quantized_centrosymmetric_network_keeps_structure_and_accuracy() {
@@ -78,7 +78,7 @@ fn export_round_trips_a_full_suite_run() {
         }
     }
     let json = export::to_json(&runs).expect("serializable");
-    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid");
+    let parsed: cscnn_json::Value = cscnn_json::from_str(&json).expect("valid");
     assert_eq!(parsed.as_array().expect("array").len(), 6);
     let csv = export::to_csv(&runs);
     let expected_rows: usize = runs.iter().map(|r| r.layers.len()).sum();
@@ -91,11 +91,21 @@ fn constrained_networks_train_through_batchnorm_stacks() {
     // and keep its structural zeros.
     let mut rng = StdRng::seed_from_u64(53);
     let mut net = Network::new();
-    net.push(Conv2d::new(&mut rng, 1, 8, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Conv2d::new(
+        &mut rng,
+        1,
+        8,
+        ConvSpec::new(3, 3).with_padding(1),
+    ));
     net.push(BatchNorm2d::new(8));
     net.push(Relu::new());
     net.push(MaxPool::new(PoolSpec::new(2)));
-    net.push(Conv2d::new(&mut rng, 8, 16, ConvSpec::new(3, 3).with_padding(1)));
+    net.push(Conv2d::new(
+        &mut rng,
+        8,
+        16,
+        ConvSpec::new(3, 3).with_padding(1),
+    ));
     net.push(BatchNorm2d::new(16));
     net.push(Relu::new());
     net.push(MaxPool::new(PoolSpec::new(2)));
@@ -113,7 +123,11 @@ fn constrained_networks_train_through_batchnorm_stacks() {
         ..Default::default()
     })
     .fit(&mut net, &train, &test);
-    assert!(report.final_test_accuracy > 0.5, "acc {}", report.final_test_accuracy);
+    assert!(
+        report.final_test_accuracy > 0.5,
+        "acc {}",
+        report.final_test_accuracy
+    );
     for conv in net.conv_layers_mut() {
         for slice in conv.weight().value.as_slice().chunks(9) {
             assert_eq!(slice[3], 0.0, "triangular zeros must survive training");
@@ -151,7 +165,11 @@ fn quantization_format_fit_handles_trained_weight_ranges() {
     for p in net.params() {
         let fmt = QFormat::fit(p.value.as_slice());
         assert!(fmt.frac_bits >= 8, "frac_bits {}", fmt.frac_bits);
-        let max = p.value.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let max = p
+            .value
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
         assert!(fmt.max_value() >= max);
     }
 }

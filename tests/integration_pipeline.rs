@@ -83,10 +83,10 @@ fn centrosymmetric_networks_memorize_random_labels() {
     use cscnn::nn::metrics::softmax_cross_entropy;
     use cscnn::nn::optimizer::Sgd;
     use cscnn::tensor::Tensor;
-    use rand::Rng;
-    use rand::SeedableRng;
+    use cscnn_rng::Rng;
+    use cscnn_rng::SeedableRng;
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+    let mut rng = cscnn_rng::rngs::StdRng::seed_from_u64(34);
     let n = 16usize;
     let x = Tensor::from_fn(&[n, 1, 8, 8], |_| rng.gen_range(-1.0..1.0f32));
     let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3)).collect();

@@ -1,29 +1,37 @@
-//! Property-based tests of the tensor kernels: algebraic identities
+//! Property-style tests of the tensor kernels: algebraic identities
 //! (linearity, distributivity), pooling invariants, and Winograd/direct
-//! convolution equivalence over randomized shapes and values.
+//! convolution equivalence over seeded randomized values.
+//!
+//! These were originally `proptest` properties; the workspace is std-only,
+//! so each property now runs as a fixed loop over deterministic seeds with
+//! values drawn from `cscnn-rng`. Coverage is comparable (32+ cases per
+//! property) and failures are exactly reproducible from the seed.
 
 use cscnn::tensor::{
     avg_pool2d, avg_pool2d_backward, conv2d, matmul, matmul_at, matmul_bt, max_pool2d,
     winograd_conv2d, ConvSpec, PoolSpec, Tensor,
 };
-use proptest::prelude::*;
+use cscnn_rng::rngs::StdRng;
+use cscnn_rng::{Rng, SeedableRng};
 
-fn tensor_strategy(dims: &'static [usize]) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-2.0f32..2.0, dims.iter().product::<usize>())
-        .prop_map(move |v| Tensor::from_vec(v, dims))
+/// Tensor with elements uniform in [-2, 2), matching the old strategy.
+fn random_tensor(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+    let n: usize = dims.iter().product();
+    let v: Vec<f32> = (0..n)
+        .map(|_| (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32 * 4.0 - 2.0)
+        .collect();
+    Tensor::from_vec(v, dims)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Convolution is linear in the input: conv(a + b) == conv(a) + conv(b)
-    /// with a zero bias.
-    #[test]
-    fn conv_is_linear_in_input(
-        a in tensor_strategy(&[1, 2, 6, 6]),
-        b in tensor_strategy(&[1, 2, 6, 6]),
-        w in tensor_strategy(&[3, 2, 3, 3]),
-    ) {
+/// Convolution is linear in the input: conv(a + b) == conv(a) + conv(b)
+/// with a zero bias.
+#[test]
+fn conv_is_linear_in_input() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7e_0000 + seed);
+        let a = random_tensor(&mut rng, &[1, 2, 6, 6]);
+        let b = random_tensor(&mut rng, &[1, 2, 6, 6]);
+        let w = random_tensor(&mut rng, &[3, 2, 3, 3]);
         let spec = ConvSpec::new(3, 3).with_padding(1);
         let bias = Tensor::zeros(&[3]);
         let sum_in = a.zip(&b, |x, y| x + y);
@@ -31,17 +39,19 @@ proptest! {
         let mut rhs = conv2d(&a, &w, &bias, &spec);
         rhs.axpy(1.0, &conv2d(&b, &w, &bias, &spec));
         for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+            assert!((l - r).abs() < 1e-3, "seed {seed}: {l} vs {r}");
         }
     }
+}
 
-    /// Convolution is linear in the weights too.
-    #[test]
-    fn conv_is_linear_in_weights(
-        x in tensor_strategy(&[1, 2, 6, 6]),
-        w1 in tensor_strategy(&[3, 2, 3, 3]),
-        w2 in tensor_strategy(&[3, 2, 3, 3]),
-    ) {
+/// Convolution is linear in the weights too.
+#[test]
+fn conv_is_linear_in_weights() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7e_1000 + seed);
+        let x = random_tensor(&mut rng, &[1, 2, 6, 6]);
+        let w1 = random_tensor(&mut rng, &[3, 2, 3, 3]);
+        let w2 = random_tensor(&mut rng, &[3, 2, 3, 3]);
         let spec = ConvSpec::new(3, 3);
         let bias = Tensor::zeros(&[3]);
         let w_sum = w1.zip(&w2, |a, b| a + b);
@@ -49,61 +59,69 @@ proptest! {
         let mut rhs = conv2d(&x, &w1, &bias, &spec);
         rhs.axpy(1.0, &conv2d(&x, &w2, &bias, &spec));
         for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((l - r).abs() < 1e-3);
+            assert!((l - r).abs() < 1e-3, "seed {seed}: {l} vs {r}");
         }
     }
+}
 
-    /// Winograd F(2x2,3x3) equals direct convolution on random data.
-    #[test]
-    fn winograd_equals_direct(
-        x in tensor_strategy(&[1, 3, 8, 8]),
-        w in tensor_strategy(&[2, 3, 3, 3]),
-        padded in proptest::bool::ANY,
-    ) {
-        let padding = usize::from(padded);
+/// Winograd F(2x2,3x3) equals direct convolution on random data, padded
+/// and unpadded.
+#[test]
+fn winograd_equals_direct() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7e_2000 + seed);
+        let x = random_tensor(&mut rng, &[1, 3, 8, 8]);
+        let w = random_tensor(&mut rng, &[2, 3, 3, 3]);
+        let padding = (seed % 2) as usize;
         let bias = Tensor::zeros(&[2]);
         let (wino, mults) = winograd_conv2d(&x, &w, &bias, padding);
         let direct = conv2d(&x, &w, &bias, &ConvSpec::new(3, 3).with_padding(padding));
-        prop_assert_eq!(wino.shape(), direct.shape());
+        assert_eq!(wino.shape(), direct.shape());
         for (a, b) in wino.as_slice().iter().zip(direct.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-3, "seed {seed}: {a} vs {b}");
         }
         // Exactly 4 multiplications per output per input channel.
-        prop_assert_eq!(mults, (wino.len() * 3 * 4) as u64);
+        assert_eq!(mults, (wino.len() * 3 * 4) as u64);
     }
+}
 
-    /// Matmul distributes over addition, and the transposed variants agree
-    /// with explicit transposes.
-    #[test]
-    fn matmul_identities(
-        a in tensor_strategy(&[4, 5]),
-        b in tensor_strategy(&[5, 3]),
-        c in tensor_strategy(&[5, 3]),
-    ) {
+/// Matmul distributes over addition, and the transposed variants agree
+/// with explicit transposes.
+#[test]
+fn matmul_identities() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7e_3000 + seed);
+        let a = random_tensor(&mut rng, &[4, 5]);
+        let b = random_tensor(&mut rng, &[5, 3]);
+        let c = random_tensor(&mut rng, &[5, 3]);
         let b_plus_c = b.zip(&c, |x, y| x + y);
         let lhs = matmul(&a, &b_plus_c);
         let mut rhs = matmul(&a, &b);
         rhs.axpy(1.0, &matmul(&a, &c));
         for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((l - r).abs() < 1e-3);
+            assert!((l - r).abs() < 1e-3, "seed {seed}");
         }
         let at = matmul_at(&a, &a); // aᵀ·a : symmetric PSD
         for i in 0..5 {
             for j in 0..5 {
-                prop_assert!((at.at(&[i, j]) - at.at(&[j, i])).abs() < 1e-3);
+                assert!((at.at(&[i, j]) - at.at(&[j, i])).abs() < 1e-3);
             }
-            prop_assert!(at.at(&[i, i]) >= -1e-4, "diagonal of aᵀa is non-negative");
+            assert!(at.at(&[i, i]) >= -1e-4, "diagonal of aᵀa is non-negative");
         }
         let bt = matmul_bt(&a, &Tensor::eye(5));
         for (l, r) in bt.as_slice().iter().zip(a.as_slice()) {
-            prop_assert!((l - r).abs() < 1e-5, "a·Iᵀ == a");
+            assert!((l - r).abs() < 1e-5, "a·Iᵀ == a");
         }
     }
+}
 
-    /// Max pooling dominates average pooling pointwise, and both lie within
-    /// the input's range.
-    #[test]
-    fn pooling_order_and_range(x in tensor_strategy(&[1, 2, 8, 8])) {
+/// Max pooling dominates average pooling pointwise, and both lie within
+/// the input's range.
+#[test]
+fn pooling_order_and_range() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7e_4000 + seed);
+        let x = random_tensor(&mut rng, &[1, 2, 8, 8]);
         let spec = PoolSpec::new(2);
         let (mx, _) = max_pool2d(&x, &spec);
         let av = avg_pool2d(&x, &spec);
@@ -114,40 +132,48 @@ proptest! {
                 (l.min(v), h.max(v))
             });
         for (m, a) in mx.as_slice().iter().zip(av.as_slice()) {
-            prop_assert!(m >= a, "max >= avg");
-            prop_assert!(*m <= hi + 1e-6 && *a >= lo - 1e-6);
+            assert!(m >= a, "max >= avg");
+            assert!(*m <= hi + 1e-6 && *a >= lo - 1e-6);
         }
     }
+}
 
-    /// Average pooling backward conserves gradient mass.
-    #[test]
-    fn avg_pool_backward_conserves_mass(g in tensor_strategy(&[1, 2, 4, 4])) {
+/// Average pooling backward conserves gradient mass.
+#[test]
+fn avg_pool_backward_conserves_mass() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7e_5000 + seed);
+        let g = random_tensor(&mut rng, &[1, 2, 4, 4]);
         let spec = PoolSpec::new(2);
         let gi = avg_pool2d_backward(&g, &[1, 2, 8, 8], &spec);
         let before: f32 = g.sum();
         let after: f32 = gi.sum();
-        prop_assert!((before - after).abs() < 1e-3);
+        assert!((before - after).abs() < 1e-3, "seed {seed}");
     }
+}
 
-    /// Quantize→dequantize error is bounded by half an LSB for in-range
-    /// values, and quantization is monotone.
-    #[test]
-    fn quantization_bounds_and_monotonicity(
-        vals in prop::collection::vec(-100.0f32..100.0, 1..50),
-        frac in 4u8..=8,
-    ) {
-        use cscnn::nn::quant::QFormat;
+/// Quantize→dequantize error is bounded by half an LSB for in-range
+/// values, and quantization is monotone.
+#[test]
+fn quantization_bounds_and_monotonicity() {
+    use cscnn::nn::quant::QFormat;
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x7e_6000 + seed);
+        let frac = 4 + (rng.next_u64() % 5) as u8; // 4..=8
+        let n = 1 + (rng.next_u64() % 50) as usize;
+        let mut vals: Vec<f32> = (0..n)
+            .map(|_| (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32 * 200.0 - 100.0)
+            .collect();
         let fmt = QFormat::new(frac);
-        let mut sorted = vals.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let mut prev_q = i16::MIN;
-        for &v in &sorted {
+        for &v in &vals {
             let q = fmt.quantize(v);
-            prop_assert!(q >= prev_q, "quantization must be monotone");
+            assert!(q >= prev_q, "quantization must be monotone");
             prev_q = q;
             if v.abs() < fmt.max_value() {
                 let back = fmt.dequantize(q);
-                prop_assert!((v - back).abs() <= 0.5 * fmt.resolution() + 1e-6);
+                assert!((v - back).abs() <= 0.5 * fmt.resolution() + 1e-6);
             }
         }
     }
