@@ -55,7 +55,7 @@ fn main() {
     for (label, centro) in [("dense", false), ("centrosymmetric", true)] {
         let mut net = models::tiny_cnn(1, 16, 16, 4, 3);
         if centro {
-            centrosymmetric::centrosymmetrize(&mut net);
+            centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
         }
         let mut opt = Sgd::new(0.9, 1e-4);
         bench(&format!("sgd_step_tiny_cnn_{label}"), || {
@@ -77,13 +77,16 @@ fn main() {
                     conv_keep: 0.4,
                     fc_keep: 0.1,
                 },
-            );
+            )
+            .expect("finite weights");
         },
     );
 
     bench_with_setup(
         "centrosymmetrize_vgg_s",
         || models::vgg_s(10, 5),
-        |mut net| centrosymmetric::centrosymmetrize(&mut net),
+        |mut net| {
+            centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
+        },
     );
 }

@@ -55,7 +55,7 @@ fn main() {
             };
             match label {
                 "centrosymmetric 3x3" => {
-                    centrosymmetric::centrosymmetrize(&mut net);
+                    centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
                 }
                 "centro 3x3, zero center" => {
                     for conv in net.conv_layers_mut() {

@@ -51,7 +51,7 @@ fn main() {
     // Branch B: CSCNN (+ pruning) half storage, no dual indices.
     let mut cs_net = models::convnet_s(4, 77);
     let _ = trainer.fit(&mut cs_net, &train, &test);
-    centrosymmetric::centrosymmetrize(&mut cs_net);
+    centrosymmetric::centrosymmetrize(&mut cs_net).expect("finite weights");
     let _ = trainer.fit(&mut cs_net, &train, &test);
     let mut cs_unique_bits = 0u64;
     for conv in cs_net.conv_layers_mut() {

@@ -107,7 +107,8 @@ fn proxy_training() {
                 conv_keep: 0.5,
                 fc_keep: 0.25,
             })
-            .run(net, &data, &conv_inputs);
+            .run(net, &data, &conv_inputs)
+            .expect("network lowers");
         t.row(vec![
             name.to_string(),
             format!("{:.1} %", 100.0 * report.baseline_accuracy),

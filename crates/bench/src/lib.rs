@@ -28,7 +28,9 @@ pub fn evaluation_models() -> Vec<ModelDesc> {
 pub fn run_evaluation(models: &[ModelDesc]) -> (Vec<Box<dyn Accelerator>>, Vec<Vec<RunStats>>) {
     let runner = Runner::new(SEED);
     let accs = baselines::evaluation_accelerators();
-    let results = runner.run_suite(&accs, models);
+    let results = runner
+        .run_suite(&accs, models)
+        .expect("simulation worker panicked");
     (accs, results)
 }
 

@@ -1,116 +1,136 @@
 //! Trained-network → simulator bridge.
 //!
 //! The paper's simulator "takes the weights and activations extracted from
-//! PyTorch as input" (§IV). This module is that extraction for our stack:
-//! it derives a [`ModelDesc`] from a trained [`Network`], *measures* its
-//! per-layer weight and activation densities on real data, and hands both
-//! to the simulator — closing the algorithm→hardware loop without any
-//! calibrated profile in between.
+//! PyTorch as input" (§IV). This module is that extraction for our stack,
+//! phrased as explicit IR lowering passes: a trained [`Network`] lowers to
+//! typed [`ModelIr`] (`Network → Ir`, via each layer's `Layer::describe`),
+//! measured per-layer densities are attached as
+//! [`SparsityAnnotation`]s, and the annotated IR drives the simulator
+//! (`Ir → LayerWorkload`, via `Runner::run_ir`) — closing the
+//! algorithm→hardware loop without any calibrated profile (or `Any`
+//! downcast) in between.
 
-use cscnn_models::{LayerDesc, ModelDesc, SparsityProfile};
+use cscnn_ir::{IrError, ModelIr, SparsityAnnotation};
+use cscnn_models::{lower, ModelDesc, SparsityProfile};
 use cscnn_nn::datasets::SyntheticImages;
-use cscnn_nn::{Conv2d, Linear, Network};
-use cscnn_sim::{Accelerator, RunStats, Runner};
-use cscnn_tensor::Tensor;
+use cscnn_nn::Network;
+use cscnn_sim::{Accelerator, RunStats, Runner, SimError};
 
 /// Activation magnitude below which a value counts as zero when measuring
 /// density (post-ReLU zeros are exact; this guards against denormals).
 const ZERO_EPS: f32 = 1e-9;
 
-/// Derives the weight-bearing layer descriptions of a trained network fed
-/// with `(channels, height, width)` inputs.
-///
-/// # Panics
-///
-/// Panics if the network contains a weight-bearing layer the bridge does
-/// not recognize, or if a forward pass fails shape checks.
-pub fn describe_network(net: &mut Network, name: &str, input: (usize, usize, usize)) -> ModelDesc {
-    let (c, h, w) = input;
-    // One tiny forward pass records each layer's input shape.
-    let mut shapes: Vec<Vec<usize>> = Vec::new();
-    let probe = Tensor::zeros(&[1, c, h, w]);
-    let _ = net.forward_observed(&probe, |_, _, x| shapes.push(x.shape().dims().to_vec()));
-    let mut layers = Vec::new();
-    for (i, dims) in shapes.iter().enumerate() {
-        let layer = net.layer_mut(i);
-        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
-            let wd = conv.weight().value.shape().dims().to_vec();
-            let spec = *conv.spec();
-            layers.push(LayerDesc::conv(
-                &format!("L{i}"),
-                wd[1],
-                wd[0],
-                wd[2],
-                wd[3],
-                dims[2],
-                dims[3],
-                spec.stride,
-                spec.padding,
-            ));
-        } else if let Some(linear) = layer.as_any_mut().downcast_mut::<Linear>() {
-            let wd = linear.weight().value.shape().dims().to_vec();
-            layers.push(LayerDesc::fc(&format!("L{i}"), wd[1], wd[0]));
+/// A bridge failure: either the network would not lower to IR, or the
+/// simulator rejected the lowered workloads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BridgeError {
+    /// The `Network → Ir` (or `Ir → ModelDesc`) lowering failed.
+    Ir(IrError),
+    /// The `Ir → LayerWorkload` lowering or the simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BridgeError::Ir(e) => write!(f, "lowering failed: {e}"),
+            BridgeError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
-    ModelDesc::new(name, layers)
+}
+
+impl std::error::Error for BridgeError {}
+
+impl From<IrError> for BridgeError {
+    fn from(e: IrError) -> Self {
+        BridgeError::Ir(e)
+    }
+}
+
+impl From<SimError> for BridgeError {
+    fn from(e: SimError) -> Self {
+        BridgeError::Sim(e)
+    }
+}
+
+/// Derives the weight-bearing layer descriptions of a trained network fed
+/// with `(channels, height, width)` inputs: `Network → Ir → ModelDesc`.
+///
+/// # Errors
+///
+/// [`IrError`] naming the offending layer when the network contains a
+/// layer that rejects its observed input shape, or has no weight-bearing
+/// layers at all.
+pub fn describe_network(
+    net: &mut Network,
+    name: &str,
+    input: (usize, usize, usize),
+) -> Result<ModelDesc, IrError> {
+    let ir = net.to_ir(name, input)?;
+    lower::to_model_desc(&ir)
 }
 
 /// Measures per-layer stored-weight and input-activation densities over a
 /// batch of real data.
 ///
-/// For centrosymmetric conv layers the weight density is measured over the
-/// *unique* (canonical-half) positions — the quantity the simulator's
-/// `centro` workloads expect.
+/// Weight densities come from each layer's typed
+/// [`cscnn_nn::Layer::weight_density`] hook — measured over the *unique*
+/// (canonical-half) positions for centrosymmetric conv layers, which is
+/// the quantity the simulator's `centro` workloads expect.
 pub fn measure_profile(net: &mut Network, data: &SyntheticImages, batch: usize) -> SparsityProfile {
     let indices: Vec<usize> = (0..data.len().min(batch)).collect();
     let (x, _) = data.batch(&indices);
-    // Activation densities of each weight-bearing layer's input.
-    let mut act_density = Vec::new();
-    let mut weight_layer_indices = Vec::new();
-    let _ = net.forward_observed(&x, |i, name, input| {
-        if name == "conv2d" || name == "linear" {
-            act_density.push(input.density(ZERO_EPS));
-            weight_layer_indices.push(i);
-        }
+    // Input-activation density of every layer (weight-bearing or not).
+    let mut input_density = vec![0.0f64; net.len()];
+    let _ = net.forward_observed(&x, |i, _, input| {
+        input_density[i] = input.density(ZERO_EPS);
     });
-    // Stored-weight densities.
+    // Keep the pairs where the layer reports a stored-weight density.
     let mut weight_density = Vec::new();
-    for &i in &weight_layer_indices {
-        let layer = net.layer_mut(i);
-        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
-            let dims = conv.weight().value.shape().dims().to_vec();
-            let (k, c, r, s) = (dims[0], dims[1], dims[2], dims[3]);
-            let wv = conv.weight().value.as_slice();
-            if conv.is_centrosymmetric() {
-                let unique = cscnn_sparse::centro::unique_positions(r, s);
-                let mut nnz = 0usize;
-                for slice_idx in 0..k * c {
-                    let base = slice_idx * r * s;
-                    nnz += unique
-                        .iter()
-                        .filter(|&&(u, v)| wv[base + u * s + v].abs() > ZERO_EPS)
-                        .count();
-                }
-                weight_density.push(nnz as f64 / (k * c * unique.len()) as f64);
-            } else {
-                weight_density.push(
-                    wv.iter().filter(|x| x.abs() > ZERO_EPS).count() as f64 / wv.len() as f64,
-                );
-            }
-        } else if let Some(linear) = layer.as_any_mut().downcast_mut::<Linear>() {
-            let wv = linear.weight().value.as_slice();
-            weight_density
-                .push(wv.iter().filter(|x| x.abs() > ZERO_EPS).count() as f64 / wv.len() as f64);
+    let mut activation_density = Vec::new();
+    for i in 0..net.len() {
+        if let Some(wd) = net.layer(i).weight_density(ZERO_EPS) {
+            weight_density.push(wd);
+            activation_density.push(input_density[i]);
         }
     }
     SparsityProfile {
         weight_density,
-        activation_density: act_density,
+        activation_density,
     }
 }
 
+/// Lowers a trained network to typed IR with measured sparsity attached to
+/// every weight-bearing node — the input `Runner::run_ir` expects.
+///
+/// # Errors
+///
+/// [`IrError`] when the network does not lower (see [`describe_network`]).
+pub fn annotated_ir(
+    net: &mut Network,
+    name: &str,
+    input: (usize, usize, usize),
+    data: &SyntheticImages,
+) -> Result<ModelIr, IrError> {
+    let mut ir = net.to_ir(name, input)?;
+    let profile = measure_profile(net, data, 16);
+    for (i, node) in ir.weight_nodes_mut().enumerate() {
+        node.set_sparsity(SparsityAnnotation {
+            weight_density: profile.weight_density[i],
+            activation_density: profile.activation_density[i],
+        });
+    }
+    Ok(ir)
+}
+
 /// Simulates a *trained* network on an accelerator using measured shapes
-/// and densities (no calibrated profiles anywhere in the path).
+/// and densities (no calibrated profiles anywhere in the path):
+/// `Network → Ir → LayerWorkload`.
+///
+/// # Errors
+///
+/// [`BridgeError`] naming the offending layer when the network does not
+/// lower to IR or the simulator rejects the annotated workloads.
 pub fn simulate_trained(
     net: &mut Network,
     name: &str,
@@ -118,10 +138,9 @@ pub fn simulate_trained(
     data: &SyntheticImages,
     accelerator: &dyn Accelerator,
     seed: u64,
-) -> RunStats {
-    let model = describe_network(net, name, input);
-    let profile = measure_profile(net, data, 16);
-    Runner::new(seed).run_model_with_profile(accelerator, &model, &profile)
+) -> Result<RunStats, BridgeError> {
+    let ir = annotated_ir(net, name, input, data)?;
+    Ok(Runner::new(seed).run_ir(accelerator, &ir)?)
 }
 
 #[cfg(test)]
@@ -136,7 +155,7 @@ mod tests {
     #[test]
     fn describe_recovers_tiny_cnn_geometry() {
         let mut net = models::tiny_cnn(1, 16, 16, 4, 61);
-        let desc = describe_network(&mut net, "tiny", (1, 16, 16));
+        let desc = describe_network(&mut net, "tiny", (1, 16, 16)).expect("network lowers");
         assert_eq!(desc.layers.len(), 3); // 2 convs + 1 fc
         assert_eq!(desc.layers[0].c, 1);
         assert_eq!(desc.layers[0].k, 8);
@@ -148,6 +167,20 @@ mod tests {
         );
         assert_eq!(desc.layers[2].kind, cscnn_models::LayerKind::FullyConnected);
         assert_eq!(desc.layers[2].c, 16 * 4 * 4);
+    }
+
+    #[test]
+    fn describe_reports_empty_networks() {
+        let mut net = Network::new();
+        net.push(cscnn_nn::Relu::new());
+        net.push(cscnn_nn::Flatten::new());
+        let err = describe_network(&mut net, "empty", (1, 4, 4)).expect_err("no weight layers");
+        assert_eq!(
+            err,
+            cscnn_ir::IrError::EmptyModel {
+                model: "empty".into()
+            }
+        );
     }
 
     #[test]
@@ -177,12 +210,25 @@ mod tests {
     #[test]
     fn centrosymmetric_density_is_measured_over_unique_positions() {
         let mut net = models::tiny_cnn(1, 16, 16, 3, 63);
-        centrosymmetric::centrosymmetrize(&mut net);
+        centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
         let data = SyntheticImages::generate(1, 16, 16, 3, 10, 0.12, 63);
         let profile = measure_profile(&mut net, &data, 8);
         // Unpruned centrosymmetric layers are fully dense over the unique
         // half.
         assert!(profile.weight_density[0] > 0.99);
+    }
+
+    #[test]
+    fn annotated_ir_carries_measured_sparsity() {
+        let data = SyntheticImages::generate(1, 16, 16, 3, 10, 0.12, 65);
+        let mut net = models::tiny_cnn(1, 16, 16, 3, 65);
+        let ir = annotated_ir(&mut net, "tiny", (1, 16, 16), &data).expect("network lowers");
+        assert_eq!(ir.num_weight_nodes(), 3);
+        for node in ir.weight_nodes() {
+            let ann = node.sparsity().expect("annotated");
+            assert!(ann.weight_density > 0.0 && ann.weight_density <= 1.0);
+            assert!(ann.activation_density > 0.0 && ann.activation_density <= 1.0);
+        }
     }
 
     #[test]
@@ -195,12 +241,13 @@ mod tests {
             ..Default::default()
         });
         let _ = trainer.fit(&mut net, &train, &test);
-        centrosymmetric::centrosymmetrize(&mut net);
+        centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
         let _ = trainer.fit(&mut net, &train, &test);
         for conv in net.conv_layers_mut() {
             pruning::prune_conv(conv, 0.5);
         }
-        let dcnn = simulate_trained(&mut net, "tiny", (1, 16, 16), &test, &baselines::dcnn(), 7);
+        let dcnn = simulate_trained(&mut net, "tiny", (1, 16, 16), &test, &baselines::dcnn(), 7)
+            .expect("network simulates");
         let cscnn = simulate_trained(
             &mut net,
             "tiny",
@@ -208,7 +255,8 @@ mod tests {
             &test,
             &CartesianAccelerator::cscnn(),
             7,
-        );
+        )
+        .expect("network simulates");
         assert!(
             cscnn.speedup_over(&dcnn) > 1.0,
             "measured-profile CSCNN speedup {}",

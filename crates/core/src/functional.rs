@@ -37,7 +37,7 @@ pub fn forward_on_dataflow(net: &mut Network, input: &Tensor, mults_out: &mut u6
     let mut x = input.clone();
     for i in 0..n_layers {
         let layer = net.layer_mut(i);
-        if let Some(conv) = layer.as_any_mut().downcast_mut::<Conv2d>() {
+        if let Some(conv) = layer.as_conv_mut() {
             x = conv_on_dataflow(conv, &x, mults_out);
         } else {
             x = layer.forward(&x);
@@ -50,6 +50,11 @@ pub fn forward_on_dataflow(net: &mut Network, input: &Tensor, mults_out: &mut u6
 fn conv_on_dataflow(conv: &mut Conv2d, input: &Tensor, mults_out: &mut u64) -> Tensor {
     let spec = *conv.spec();
     assert_eq!(spec.stride, 1, "dataflow validation covers unit stride");
+    assert_eq!(
+        conv.groups(),
+        1,
+        "dataflow validation covers ungrouped conv"
+    );
     let dims = input.shape().dims();
     let (c, h, w) = (dims[1], dims[2], dims[3]);
     let wd = conv.weight().value.shape().dims().to_vec();
@@ -186,7 +191,7 @@ mod tests {
         let mut dense_mults = 0u64;
         let _ = forward_on_dataflow(&mut net, &x, &mut dense_mults);
 
-        centrosymmetric::centrosymmetrize(&mut net);
+        centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
         let _ = trainer.fit(&mut net, &train, &test);
         for conv in net.conv_layers_mut() {
             pruning::prune_conv(conv, 0.6);

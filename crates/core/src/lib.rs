@@ -11,6 +11,7 @@
 //! | Re-export | Contents |
 //! |---|---|
 //! | [`tensor`] | N-d `f32` tensors, conv/pool/matmul kernels with backward passes |
+//! | [`ir`] | The typed model IR every layer representation lowers through |
 //! | [`nn`] | Layers, SGD training, centrosymmetric constraint, pruning, synthetic datasets |
 //! | [`sparse`] | Zero-run-length encodings, centrosymmetric filter storage |
 //! | [`models`] | Shape catalogs of the benchmark CNNs + compression math |
@@ -35,6 +36,7 @@
 //! assert!(cscnn.speedup_over(&dense) > 1.0);
 //! ```
 
+pub use cscnn_ir as ir;
 pub use cscnn_models as models;
 pub use cscnn_nn as nn;
 pub use cscnn_sim as sim;
@@ -45,12 +47,13 @@ mod bridge;
 mod functional;
 mod pipeline;
 
-pub use bridge::{describe_network, measure_profile, simulate_trained};
+pub use bridge::{annotated_ir, describe_network, measure_profile, simulate_trained, BridgeError};
 pub use functional::forward_on_dataflow;
 pub use pipeline::{evaluate_hardware, CompressionPipeline, HardwareComparison, PipelineReport};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
+    pub use crate::ir::{IrError, LayerNode, ModelIr, SparsityAnnotation};
     pub use crate::models::catalog;
     pub use crate::models::{CompressionScheme, ModelCompression, ModelDesc};
     pub use crate::nn::centrosymmetric;

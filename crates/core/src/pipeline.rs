@@ -5,8 +5,8 @@ use cscnn_nn::centrosymmetric::{self, MultCount};
 use cscnn_nn::datasets::SyntheticImages;
 use cscnn_nn::pruning::{self, PruneConfig};
 use cscnn_nn::trainer::{evaluate, TrainConfig, Trainer};
-use cscnn_nn::Network;
-use cscnn_sim::{geomean, RunStats, Runner};
+use cscnn_nn::{IrError, Network};
+use cscnn_sim::{geomean, RunStats, Runner, SimError};
 
 /// Results of the end-to-end algorithm pipeline (paper Fig. 2).
 #[derive(Clone, Debug)]
@@ -43,7 +43,8 @@ pub struct PipelineReport {
 /// let net = models::tiny_cnn(1, 16, 16, 4, 1);
 /// let report = CompressionPipeline::new(TrainConfig::default())
 ///     .with_pruning(Default::default())
-///     .run(net, &data, &models::tiny_cnn_conv_inputs(16, 16));
+///     .run(net, &data, &models::tiny_cnn_conv_inputs(16, 16))
+///     .expect("network lowers");
 /// assert!(report.retrained_accuracy > report.post_projection_accuracy);
 /// ```
 pub struct CompressionPipeline {
@@ -78,40 +79,46 @@ impl CompressionPipeline {
     /// Runs the full flow on `net` over `data` (split 80/20 train/test).
     /// `conv_inputs` lists the spatial input extent of each conv layer (for
     /// multiplication counting).
+    ///
+    /// # Errors
+    ///
+    /// [`IrError`] naming the offending layer when projection, pruning, or
+    /// multiplication counting rejects the network (non-finite weights or
+    /// a missing conv-input entry).
     pub fn run(
         &self,
         mut net: Network,
         data: &SyntheticImages,
         conv_inputs: &[(usize, usize)],
-    ) -> PipelineReport {
+    ) -> Result<PipelineReport, IrError> {
         let (train_set, test_set) = data.split(0.2);
         // Phase 1: conventional training.
         let trainer = Trainer::new(self.train);
         let base = trainer.fit(&mut net, &train_set, &test_set);
         // Phase 2: Eq. 5 projection — accuracy collapses.
-        centrosymmetric::centrosymmetrize(&mut net);
+        centrosymmetric::centrosymmetrize(&mut net)?;
         let post_projection = evaluate(&mut net, &test_set, self.train.batch_size);
         // Phase 3: Eq. 7 retraining recovers accuracy.
         let retrainer = Trainer::new(self.retrain);
         let retrained = retrainer.fit(&mut net, &train_set, &test_set);
         // Phase 4 (optional): prune + retrain.
         let (pruned_accuracy, kept_fraction) = if let Some(cfg) = &self.prune {
-            let kept = pruning::prune_network(&mut net, cfg);
+            let kept = pruning::prune_network(&mut net, cfg)?;
             let rep = retrainer.fit(&mut net, &train_set, &test_set);
             (Some(rep.final_test_accuracy), kept)
         } else {
             (None, 1.0)
         };
         debug_assert!(centrosymmetric::check_invariant(&mut net, 1e-4));
-        let mults = centrosymmetric::count_multiplications(&mut net, conv_inputs);
-        PipelineReport {
+        let mults = centrosymmetric::count_multiplications(&mut net, conv_inputs)?;
+        Ok(PipelineReport {
             baseline_accuracy: base.final_test_accuracy,
             post_projection_accuracy: post_projection,
             retrained_accuracy: retrained.final_test_accuracy,
             pruned_accuracy,
             kept_fraction,
             mults,
-        }
+        })
     }
 }
 
@@ -133,11 +140,19 @@ pub struct HardwareComparison {
 /// Runs the paper's full accelerator comparison (Fig. 7 / Fig. 9) for the
 /// given models, returning one [`HardwareComparison`] per accelerator in
 /// plotting order (DCNN first, CSCNN last).
-pub fn evaluate_hardware(models: &[ModelDesc], seed: u64) -> Vec<HardwareComparison> {
+///
+/// # Errors
+///
+/// [`SimError::WorkerPanicked`] naming the model whose simulation worker
+/// panicked, if any did.
+pub fn evaluate_hardware(
+    models: &[ModelDesc],
+    seed: u64,
+) -> Result<Vec<HardwareComparison>, SimError> {
     let runner = Runner::new(seed);
     let accs = cscnn_sim::baselines::evaluation_accelerators();
-    let results = runner.run_suite(&accs, models);
-    (0..accs.len())
+    let results = runner.run_suite(&accs, models)?;
+    Ok((0..accs.len())
         .map(|ai| {
             let runs: Vec<RunStats> = results.iter().map(|row| row[ai].clone()).collect();
             let speedups: Vec<f64> = results
@@ -160,7 +175,7 @@ pub fn evaluate_hardware(models: &[ModelDesc], seed: u64) -> Vec<HardwareCompari
                 edp_gain_over_dcnn: geomean(&edp),
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -179,7 +194,9 @@ mod tests {
             lr: 0.05,
             ..Default::default()
         };
-        let report = CompressionPipeline::new(cfg).run(net, &data, &[(8, 8), (4, 4)]);
+        let report = CompressionPipeline::new(cfg)
+            .run(net, &data, &[(8, 8), (4, 4)])
+            .expect("network lowers");
         assert!(report.baseline_accuracy > 0.55, "baseline should learn");
         assert!(
             report.retrained_accuracy > report.post_projection_accuracy - 0.05,
@@ -190,7 +207,7 @@ mod tests {
 
     #[test]
     fn hardware_evaluation_orders_accelerators() {
-        let comparisons = evaluate_hardware(&[catalog::lenet5()], 5);
+        let comparisons = evaluate_hardware(&[catalog::lenet5()], 5).expect("no worker panics");
         assert_eq!(comparisons.len(), 9);
         assert_eq!(comparisons[0].accelerator, "DCNN");
         assert!((comparisons[0].speedup_over_dcnn - 1.0).abs() < 1e-9);

@@ -1,0 +1,584 @@
+#![warn(missing_docs)]
+
+//! # cscnn-ir
+//!
+//! The typed layer/model intermediate representation that unifies the
+//! repo's four historical layer descriptions (trainable `cscnn_nn` layers,
+//! `cscnn_models::LayerDesc` geometry, `cscnn_sim::LayerWorkload` sparse
+//! structure, and the old downcasting bridge in `cscnn`).
+//!
+//! A [`ModelIr`] is an ordered list of [`LayerNode`]s — every layer of a
+//! network, weight-bearing or not — each carrying exact geometry
+//! ([`ConvGeom`]), grouping, the centrosymmetric flag, and an optional
+//! measured [`SparsityAnnotation`]. Producers and consumers are explicit
+//! lowering passes (see `docs/ir.md`):
+//!
+//! - `Network → Ir` — `cscnn_nn::Network::to_ir` via each layer's typed
+//!   `Layer::describe`;
+//! - `Ir → ModelDesc` — `cscnn_models::lower::to_model_desc` (geometry
+//!   lowering: keeps the weight-bearing nodes);
+//! - `Ir → LayerWorkload` — `cscnn_sim::LayerWorkload::from_node`
+//!   (sparse-structure lowering, consumed by `Runner::run_ir`).
+//!
+//! This crate is dependency-free so every layer of the stack can speak IR
+//! without cycles.
+
+use std::fmt;
+
+/// Geometry of a (possibly grouped) 2-D convolution, in the paper's
+/// notation: `C`/`K` input/output channels, `R×S` kernel, `H×W` *input*
+/// spatial extent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels (`C`).
+    pub c: usize,
+    /// Output channels (`K`).
+    pub k: usize,
+    /// Kernel height (`R`).
+    pub r: usize,
+    /// Kernel width (`S`).
+    pub s: usize,
+    /// Input feature-map height (`H`).
+    pub h: usize,
+    /// Input feature-map width (`W`).
+    pub w: usize,
+    /// Stride (both spatial dims).
+    pub stride: usize,
+    /// Zero padding (both spatial dims).
+    pub padding: usize,
+    /// Convolution groups (1 = dense conv; `c` = depthwise).
+    pub groups: usize,
+}
+
+impl ConvGeom {
+    /// Output spatial extent `(H', W')`.
+    pub fn output_dim(&self) -> (usize, usize) {
+        let ph = self.h + 2 * self.padding;
+        let pw = self.w + 2 * self.padding;
+        assert!(
+            ph >= self.r && pw >= self.s,
+            "padded input {ph}x{pw} smaller than kernel {}x{}",
+            self.r,
+            self.s
+        );
+        (
+            (ph - self.r) / self.stride + 1,
+            (pw - self.s) / self.stride + 1,
+        )
+    }
+
+    /// Number of weights (grouping-aware): `K·(C/groups)·R·S`.
+    pub fn weights(&self) -> u64 {
+        (self.k * (self.c / self.groups) * self.r * self.s) as u64
+    }
+
+    /// Dense multiply count per inference: `weights · H'·W'`.
+    pub fn dense_mults(&self) -> u64 {
+        let (oh, ow) = self.output_dim();
+        self.weights() * (oh * ow) as u64
+    }
+
+    /// Whether the centrosymmetric constraint applies (paper §II-A):
+    /// unit stride and a multi-weight kernel.
+    pub fn centro_eligible(&self) -> bool {
+        self.stride == 1 && self.r * self.s > 1
+    }
+}
+
+/// Measured per-layer sparsity, attached to weight-bearing nodes by the
+/// trained-network bridge (densities in `[0, 1]`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SparsityAnnotation {
+    /// Density of *stored* weights (over the unique half for layers
+    /// trained under the centrosymmetric constraint).
+    pub weight_density: f64,
+    /// Density of the layer's input activations.
+    pub activation_density: f64,
+}
+
+/// Pooling flavour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Elementwise activation flavour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActivationKind {
+    /// Rectified linear unit.
+    Relu,
+}
+
+/// One layer of a model, typed.
+///
+/// Weight-bearing variants (`Conv`, `Depthwise`, `FullyConnected`) carry a
+/// name, exact geometry and an optional measured [`SparsityAnnotation`];
+/// the remaining variants describe the shape-preserving / shape-routing
+/// layers the simulator does not time but the lowering passes must not
+/// lose (they fix layer indices and activation provenance).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayerNode {
+    /// Standard (possibly grouped, `groups < C`) 2-D convolution.
+    Conv {
+        /// Layer name (e.g. `"C1"`, `"L3"`).
+        name: String,
+        /// Convolution geometry.
+        geom: ConvGeom,
+        /// Whether the filters are centrosymmetric-constrained (Eq. 2).
+        centrosymmetric: bool,
+        /// Measured sparsity, when known.
+        sparsity: Option<SparsityAnnotation>,
+    },
+    /// Depthwise convolution (`groups == C == K`).
+    Depthwise {
+        /// Layer name.
+        name: String,
+        /// Convolution geometry (`groups == c == k`).
+        geom: ConvGeom,
+        /// Whether the filters are centrosymmetric-constrained.
+        centrosymmetric: bool,
+        /// Measured sparsity, when known.
+        sparsity: Option<SparsityAnnotation>,
+    },
+    /// Fully-connected layer (`inputs → outputs`).
+    FullyConnected {
+        /// Layer name.
+        name: String,
+        /// Input features.
+        inputs: usize,
+        /// Output features.
+        outputs: usize,
+        /// Measured sparsity, when known.
+        sparsity: Option<SparsityAnnotation>,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Square window side.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Elementwise activation.
+    Activation {
+        /// Which activation.
+        kind: ActivationKind,
+    },
+    /// `[N, ...] → [N, features]` reshape.
+    Flatten,
+    /// Channel-wise normalization (batch norm).
+    Norm {
+        /// Normalized channels.
+        channels: usize,
+    },
+    /// Dropout (identity at inference).
+    Dropout {
+        /// Drop probability.
+        p: f64,
+    },
+}
+
+impl LayerNode {
+    /// A standard convolution node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero extents.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        name: &str,
+        c: usize,
+        k: usize,
+        r: usize,
+        s: usize,
+        h: usize,
+        w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self::grouped(name, c, k, r, s, h, w, stride, padding, 1)
+    }
+
+    /// A grouped convolution node. Infers the [`LayerNode::Depthwise`]
+    /// variant when `groups == c == k > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero extents or indivisible groups.
+    #[allow(clippy::too_many_arguments)]
+    pub fn grouped(
+        name: &str,
+        c: usize,
+        k: usize,
+        r: usize,
+        s: usize,
+        h: usize,
+        w: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> Self {
+        assert!(c > 0 && k > 0 && r > 0 && s > 0 && h > 0 && w > 0 && stride > 0 && groups > 0);
+        assert!(
+            c % groups == 0 && k % groups == 0,
+            "channels must divide groups: c={c} k={k} groups={groups}"
+        );
+        let geom = ConvGeom {
+            c,
+            k,
+            r,
+            s,
+            h,
+            w,
+            stride,
+            padding,
+            groups,
+        };
+        if groups == c && groups == k && groups > 1 {
+            LayerNode::Depthwise {
+                name: name.to_string(),
+                geom,
+                centrosymmetric: false,
+                sparsity: None,
+            }
+        } else {
+            LayerNode::Conv {
+                name: name.to_string(),
+                geom,
+                centrosymmetric: false,
+                sparsity: None,
+            }
+        }
+    }
+
+    /// A fully-connected node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero extents.
+    pub fn fc(name: &str, inputs: usize, outputs: usize) -> Self {
+        assert!(inputs > 0 && outputs > 0);
+        LayerNode::FullyConnected {
+            name: name.to_string(),
+            inputs,
+            outputs,
+            sparsity: None,
+        }
+    }
+
+    /// Renames a weight-bearing node (no-op on the other variants).
+    #[must_use]
+    pub fn with_name(mut self, new_name: &str) -> Self {
+        match &mut self {
+            LayerNode::Conv { name, .. }
+            | LayerNode::Depthwise { name, .. }
+            | LayerNode::FullyConnected { name, .. } => *name = new_name.to_string(),
+            _ => {}
+        }
+        self
+    }
+
+    /// Sets the centrosymmetric flag on a conv/depthwise node (no-op on
+    /// the other variants).
+    #[must_use]
+    pub fn with_centrosymmetric(mut self, on: bool) -> Self {
+        match &mut self {
+            LayerNode::Conv {
+                centrosymmetric, ..
+            }
+            | LayerNode::Depthwise {
+                centrosymmetric, ..
+            } => *centrosymmetric = on,
+            _ => {}
+        }
+        self
+    }
+
+    /// Attaches a measured sparsity annotation to a weight-bearing node
+    /// (no-op on the other variants).
+    pub fn set_sparsity(&mut self, annotation: SparsityAnnotation) {
+        match self {
+            LayerNode::Conv { sparsity, .. }
+            | LayerNode::Depthwise { sparsity, .. }
+            | LayerNode::FullyConnected { sparsity, .. } => *sparsity = Some(annotation),
+            _ => {}
+        }
+    }
+
+    /// The node's name, for weight-bearing variants.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            LayerNode::Conv { name, .. }
+            | LayerNode::Depthwise { name, .. }
+            | LayerNode::FullyConnected { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The measured sparsity annotation, if any.
+    pub fn sparsity(&self) -> Option<SparsityAnnotation> {
+        match self {
+            LayerNode::Conv { sparsity, .. }
+            | LayerNode::Depthwise { sparsity, .. }
+            | LayerNode::FullyConnected { sparsity, .. } => *sparsity,
+            _ => None,
+        }
+    }
+
+    /// Whether this node carries weights (and therefore lowers to a
+    /// `LayerDesc` / `LayerWorkload`).
+    pub fn is_weight_bearing(&self) -> bool {
+        matches!(
+            self,
+            LayerNode::Conv { .. } | LayerNode::Depthwise { .. } | LayerNode::FullyConnected { .. }
+        )
+    }
+
+    /// A short kind label (`"conv"`, `"fc"`, `"pool"`, …).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            LayerNode::Conv { .. } => "conv",
+            LayerNode::Depthwise { .. } => "depthwise",
+            LayerNode::FullyConnected { .. } => "fc",
+            LayerNode::Pool { .. } => "pool",
+            LayerNode::Activation { .. } => "activation",
+            LayerNode::Flatten => "flatten",
+            LayerNode::Norm { .. } => "norm",
+            LayerNode::Dropout { .. } => "dropout",
+        }
+    }
+}
+
+/// A whole model in IR form: name plus every layer, in execution order.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ModelIr {
+    /// Canonical model name.
+    pub name: String,
+    /// All layers, weight-bearing or not, in execution order.
+    pub nodes: Vec<LayerNode>,
+}
+
+impl ModelIr {
+    /// Creates a model IR.
+    pub fn new(name: &str, nodes: Vec<LayerNode>) -> Self {
+        ModelIr {
+            name: name.to_string(),
+            nodes,
+        }
+    }
+
+    /// The weight-bearing nodes, in order.
+    pub fn weight_nodes(&self) -> impl Iterator<Item = &LayerNode> {
+        self.nodes.iter().filter(|n| n.is_weight_bearing())
+    }
+
+    /// Mutable view of the weight-bearing nodes, in order (used to attach
+    /// measured sparsity annotations).
+    pub fn weight_nodes_mut(&mut self) -> impl Iterator<Item = &mut LayerNode> {
+        self.nodes.iter_mut().filter(|n| n.is_weight_bearing())
+    }
+
+    /// Number of weight-bearing nodes.
+    pub fn num_weight_nodes(&self) -> usize {
+        self.weight_nodes().count()
+    }
+}
+
+/// Why a layer could not be described as IR (returned by
+/// `cscnn_nn::Layer::describe`; wrapped into [`IrError::UnsupportedLayer`]
+/// by `Network::to_ir`, which knows the layer's index).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DescribeError {
+    /// The layer kind that failed to describe itself.
+    pub kind: &'static str,
+    /// Why.
+    pub reason: String,
+}
+
+impl DescribeError {
+    /// Creates a describe error.
+    pub fn new(kind: &'static str, reason: impl Into<String>) -> Self {
+        DescribeError {
+            kind,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for DescribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} layer cannot be described: {}",
+            self.kind, self.reason
+        )
+    }
+}
+
+impl std::error::Error for DescribeError {}
+
+/// A model (or network) the IR passes cannot process. Every variant names
+/// the offending layer so a failure in a deep stack is actionable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IrError {
+    /// The model has no weight-bearing layers to lower.
+    EmptyModel {
+        /// The model's name.
+        model: String,
+    },
+    /// A layer could not be described as a typed [`LayerNode`].
+    UnsupportedLayer {
+        /// The offending layer (e.g. `"L3"`).
+        layer: String,
+        /// The layer's kind label.
+        kind: String,
+        /// Why it is unsupported.
+        reason: String,
+    },
+    /// A layer's weights contain NaN/infinite values, which the
+    /// compression walkers cannot threshold or project.
+    NonFiniteWeights {
+        /// The offending layer.
+        layer: String,
+        /// The layer's kind label.
+        kind: String,
+    },
+    /// A conv layer has no spatial input extent to count over.
+    MissingConvInput {
+        /// The offending layer.
+        layer: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::EmptyModel { model } => {
+                write!(f, "model `{model}` has no weight-bearing layers")
+            }
+            IrError::UnsupportedLayer {
+                layer,
+                kind,
+                reason,
+            } => write!(f, "layer {layer} ({kind}): {reason}"),
+            IrError::NonFiniteWeights { layer, kind } => {
+                write!(f, "layer {layer} ({kind}) has non-finite weights")
+            }
+            IrError::MissingConvInput { layer } => {
+                write!(f, "layer {layer}: no spatial input extent provided")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_constructor_infers_depthwise() {
+        let dw = LayerNode::grouped("dw", 8, 8, 3, 3, 14, 14, 1, 1, 8);
+        assert!(matches!(dw, LayerNode::Depthwise { .. }));
+        let gc = LayerNode::grouped("gc", 8, 16, 3, 3, 14, 14, 1, 1, 2);
+        assert!(matches!(gc, LayerNode::Conv { .. }));
+        let pw = LayerNode::conv("pw", 8, 16, 1, 1, 14, 14, 1, 0);
+        assert!(matches!(pw, LayerNode::Conv { .. }));
+    }
+
+    #[test]
+    fn geometry_math_matches_paper_shapes() {
+        let geom = ConvGeom {
+            c: 64,
+            k: 128,
+            r: 3,
+            s: 3,
+            h: 56,
+            w: 56,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        assert_eq!(geom.output_dim(), (56, 56));
+        assert_eq!(geom.weights(), 128 * 64 * 9);
+        assert_eq!(geom.dense_mults(), 128 * 64 * 9 * 56 * 56);
+        assert!(geom.centro_eligible());
+        let strided = ConvGeom { stride: 4, ..geom };
+        assert!(!strided.centro_eligible());
+    }
+
+    #[test]
+    fn annotations_attach_only_to_weight_nodes() {
+        let mut ir = ModelIr::new(
+            "m",
+            vec![
+                LayerNode::conv("c", 1, 4, 3, 3, 8, 8, 1, 1),
+                LayerNode::Activation {
+                    kind: ActivationKind::Relu,
+                },
+                LayerNode::fc("f", 16, 4),
+            ],
+        );
+        assert_eq!(ir.num_weight_nodes(), 2);
+        let ann = SparsityAnnotation {
+            weight_density: 0.5,
+            activation_density: 0.8,
+        };
+        for node in ir.weight_nodes_mut() {
+            node.set_sparsity(ann);
+        }
+        assert!(ir.nodes[0].sparsity().is_some());
+        assert!(ir.nodes[1].sparsity().is_none());
+        let mut relu = ir.nodes[1].clone();
+        relu.set_sparsity(ann);
+        assert!(relu.sparsity().is_none(), "non-weight nodes stay bare");
+    }
+
+    #[test]
+    fn with_name_and_centrosymmetric_are_noops_off_target() {
+        let named = LayerNode::Flatten
+            .with_name("L9")
+            .with_centrosymmetric(true);
+        assert_eq!(named, LayerNode::Flatten);
+        let conv = LayerNode::conv("c", 1, 4, 3, 3, 8, 8, 1, 1)
+            .with_name("L2")
+            .with_centrosymmetric(true);
+        assert_eq!(conv.name(), Some("L2"));
+        assert!(matches!(
+            conv,
+            LayerNode::Conv {
+                centrosymmetric: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn errors_name_the_offending_layer() {
+        let e = IrError::UnsupportedLayer {
+            layer: "L3".into(),
+            kind: "custom".into(),
+            reason: "no geometry".into(),
+        };
+        assert!(e.to_string().contains("L3"));
+        let e = IrError::NonFiniteWeights {
+            layer: "L1".into(),
+            kind: "conv2d".into(),
+        };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(DescribeError::new("conv2d", "bad rank")
+            .to_string()
+            .contains("conv2d"));
+    }
+
+    #[test]
+    #[should_panic(expected = "channels must divide groups")]
+    fn grouped_rejects_indivisible_channels() {
+        let _ = LayerNode::grouped("bad", 10, 10, 3, 3, 8, 8, 1, 1, 3);
+    }
+}

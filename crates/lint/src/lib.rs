@@ -21,6 +21,11 @@
 //! 5. `validated-config` — every `pub` field-bearing config struct in
 //!    `sim/config.rs` must define `validate()` and reference it from a
 //!    constructor.
+//! 6. `no-downcast-outside-nn` — `as_any_mut` / `downcast_mut` are
+//!    forbidden outside `crates/nn/src`: layers expose typed accessors
+//!    (`as_conv_mut`, `as_linear_mut`) and lower to `cscnn_ir::LayerNode`
+//!    via `describe()`, so no other crate may peek behind the `Layer`
+//!    trait with `Any`.
 //!
 //! The analysis is deliberately lexical (a comment/string-aware line
 //! scanner, not a parser): the rules are phrased so that false positives
@@ -42,12 +47,13 @@ use std::path::{Path, PathBuf};
 pub const MAX_ALLOWLIST_ENTRIES: usize = 15;
 
 /// Names of every rule, in diagnostic order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "no-narrowing-cast",
     "no-panic-in-hot-path",
     "seeded-rng-only",
     "deterministic-sum",
     "validated-config",
+    "no-downcast-outside-nn",
 ];
 
 /// One lint violation.
@@ -281,6 +287,10 @@ fn in_det_sum_scope(file: &str) -> bool {
     file == "crates/sim/src/energy.rs" || file == "crates/sim/src/report.rs"
 }
 
+fn in_downcast_scope(file: &str) -> bool {
+    !file.starts_with("crates/nn/src/")
+}
+
 /// Lints one file's source. `file` is the workspace-relative path with
 /// `/` separators; it selects which rules apply.
 pub fn lint_file(file: &str, source: &str) -> Vec<Diagnostic> {
@@ -366,6 +376,24 @@ pub fn lint_file(file: &str, source: &str) -> Vec<Diagnostic> {
                             "unordered float `{pat}` in an energy/report path; use \
                              `cscnn_sim::util::det_sum` for fixed-order, compensated \
                              accumulation"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 6: no-downcast-outside-nn.
+        if in_downcast_scope(file) {
+            for tok in tokens(&code) {
+                if tok == "as_any_mut" || tok == "downcast_mut" {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: line_no,
+                        rule: "no-downcast-outside-nn",
+                        message: format!(
+                            "`{tok}` outside `crates/nn/src`; use the typed layer \
+                             accessors (`as_conv_mut`, `as_linear_mut`) or lower \
+                             through `cscnn_ir::LayerNode` via `describe()`"
                         ),
                     });
                 }

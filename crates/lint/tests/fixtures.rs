@@ -207,6 +207,43 @@ impl GoodConfig {
     assert!(rules_fired("crates/sim/src/config.rs", src).is_empty());
 }
 
+// --- Rule 6: no-downcast-outside-nn -------------------------------------
+
+#[test]
+fn downcast_fires_outside_nn() {
+    let src = "fn f(l: &mut dyn Layer) {\n    \
+               let c = l.as_any_mut().downcast_mut::<Conv2d>();\n}\n";
+    let diags = lint_file("crates/core/src/bridge.rs", src);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "no-downcast-outside-nn" && d.line == 2),
+        "{diags:?}"
+    );
+    // Fires in root integration tests too.
+    assert_eq!(
+        rules_fired("tests/integration_ir.rs", src),
+        vec!["no-downcast-outside-nn"]
+    );
+}
+
+#[test]
+fn downcast_is_allowed_inside_nn_and_typed_accessors_pass() {
+    let src = "fn f(l: &mut dyn Layer) {\n    \
+               let c = l.as_any_mut().downcast_mut::<Conv2d>();\n}\n";
+    // The nn crate owns the Layer trait and may implement the accessors.
+    assert!(rules_fired("crates/nn/src/layers.rs", src).is_empty());
+    // The typed replacement never fires anywhere.
+    let typed = "fn f(l: &mut dyn Layer) { let c = l.as_conv_mut(); }\n";
+    assert!(rules_fired("crates/core/src/bridge.rs", typed).is_empty());
+    // Comments, strings, and trailing test modules are exempt.
+    let masked = "// l.as_any_mut().downcast_mut::<Conv2d>()\n\
+                  let s = \"downcast_mut\";\n\
+                  #[cfg(test)]\n\
+                  mod tests { fn g(l: &mut dyn Layer) { l.as_any_mut(); } }\n";
+    assert!(rules_fired("crates/core/src/bridge.rs", masked).is_empty());
+}
+
 // --- Keystone: the real workspace is clean ------------------------------
 
 #[test]

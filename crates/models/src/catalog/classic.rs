@@ -1,59 +1,80 @@
 //! Sequential classics: LeNet-5, cuda-convnet ConvNet, AlexNet, VGG-16.
+//!
+//! Each model is authored as typed IR (`*_ir`) and its `ModelDesc` is
+//! obtained by the `Ir → ModelDesc` geometry lowering, so catalog models
+//! flow through the same pipeline as trained networks.
 
-use crate::{LayerDesc, ModelDesc};
+use crate::lower::to_model_desc;
+use crate::{LayerNode, ModelDesc, ModelIr};
+
+/// LeNet-5 for MNIST (`1×28×28`) as typed IR.
+pub fn lenet5_ir() -> ModelIr {
+    ModelIr::new(
+        "LeNet-5",
+        vec![
+            LayerNode::conv("C1", 1, 6, 5, 5, 28, 28, 1, 2), // → 28x28
+            LayerNode::conv("C3", 6, 16, 5, 5, 14, 14, 1, 0), // → 10x10 (after 2x2 pool)
+            LayerNode::fc("F5", 16 * 5 * 5, 120),
+            LayerNode::fc("F6", 120, 84),
+            LayerNode::fc("F7", 84, 10),
+        ],
+    )
+}
 
 /// LeNet-5 for MNIST (`1×28×28`).
 pub fn lenet5() -> ModelDesc {
-    ModelDesc::new(
-        "LeNet-5",
+    to_model_desc(&lenet5_ir()).expect("catalog model has weight layers")
+}
+
+/// The cuda-convnet "ConvNet" for CIFAR-10 (`3×32×32`) as typed IR: three
+/// 5×5 conv layers with pooling, one FC classifier.
+pub fn convnet_ir() -> ModelIr {
+    ModelIr::new(
+        "ConvNet",
         vec![
-            LayerDesc::conv("C1", 1, 6, 5, 5, 28, 28, 1, 2), // → 28x28
-            LayerDesc::conv("C3", 6, 16, 5, 5, 14, 14, 1, 0), // → 10x10 (after 2x2 pool)
-            LayerDesc::fc("F5", 16 * 5 * 5, 120),
-            LayerDesc::fc("F6", 120, 84),
-            LayerDesc::fc("F7", 84, 10),
+            LayerNode::conv("conv1", 3, 32, 5, 5, 32, 32, 1, 2), // → 32x32
+            LayerNode::conv("conv2", 32, 32, 5, 5, 16, 16, 1, 2), // → 16x16
+            LayerNode::conv("conv3", 32, 64, 5, 5, 8, 8, 1, 2),  // → 8x8
+            LayerNode::fc("fc", 64 * 4 * 4, 10),
         ],
     )
 }
 
-/// The cuda-convnet "ConvNet" for CIFAR-10 (`3×32×32`): three 5×5 conv
-/// layers with pooling, one FC classifier.
+/// The cuda-convnet "ConvNet" for CIFAR-10 (`3×32×32`).
 pub fn convnet() -> ModelDesc {
-    ModelDesc::new(
-        "ConvNet",
-        vec![
-            LayerDesc::conv("conv1", 3, 32, 5, 5, 32, 32, 1, 2), // → 32x32
-            LayerDesc::conv("conv2", 32, 32, 5, 5, 16, 16, 1, 2), // → 16x16
-            LayerDesc::conv("conv3", 32, 64, 5, 5, 8, 8, 1, 2),  // → 8x8
-            LayerDesc::fc("fc", 64 * 4 * 4, 10),
-        ],
-    )
+    to_model_desc(&convnet_ir()).expect("catalog model has weight layers")
 }
 
 /// AlexNet for ImageNet (`3×224×224`, the classic Krizhevsky two-tower
-/// shapes: C2/C4/C5 are 2-way grouped).
+/// shapes: C2/C4/C5 are 2-way grouped) as typed IR.
 ///
 /// C1 has stride 4, which makes it ineligible for the centrosymmetric
 /// constraint (paper §II-A) — the source of the Fig. 8 C1 behaviour.
-pub fn alexnet() -> ModelDesc {
-    ModelDesc::new(
+pub fn alexnet_ir() -> ModelIr {
+    ModelIr::new(
         "AlexNet",
         vec![
-            LayerDesc::conv("C1", 3, 96, 11, 11, 224, 224, 4, 2), // → 55x55
-            LayerDesc::grouped("C2", 96, 256, 5, 5, 27, 27, 1, 2, 2), // → 27x27
-            LayerDesc::conv("C3", 256, 384, 3, 3, 13, 13, 1, 1),  // → 13x13
-            LayerDesc::grouped("C4", 384, 384, 3, 3, 13, 13, 1, 1, 2),
-            LayerDesc::grouped("C5", 384, 256, 3, 3, 13, 13, 1, 1, 2),
-            LayerDesc::fc("FC6", 256 * 6 * 6, 4096),
-            LayerDesc::fc("FC7", 4096, 4096),
-            LayerDesc::fc("FC8", 4096, 1000),
+            LayerNode::conv("C1", 3, 96, 11, 11, 224, 224, 4, 2), // → 55x55
+            LayerNode::grouped("C2", 96, 256, 5, 5, 27, 27, 1, 2, 2), // → 27x27
+            LayerNode::conv("C3", 256, 384, 3, 3, 13, 13, 1, 1),  // → 13x13
+            LayerNode::grouped("C4", 384, 384, 3, 3, 13, 13, 1, 1, 2),
+            LayerNode::grouped("C5", 384, 256, 3, 3, 13, 13, 1, 1, 2),
+            LayerNode::fc("FC6", 256 * 6 * 6, 4096),
+            LayerNode::fc("FC7", 4096, 4096),
+            LayerNode::fc("FC8", 4096, 1000),
         ],
     )
 }
 
-/// VGG-16 for ImageNet (`3×224×224`): thirteen 3×3 conv layers, three FC.
-pub fn vgg16() -> ModelDesc {
-    let mut layers = Vec::new();
+/// AlexNet for ImageNet (`3×224×224`).
+pub fn alexnet() -> ModelDesc {
+    to_model_desc(&alexnet_ir()).expect("catalog model has weight layers")
+}
+
+/// VGG-16 for ImageNet (`3×224×224`) as typed IR: thirteen 3×3 conv
+/// layers, three FC.
+pub fn vgg16_ir() -> ModelIr {
+    let mut nodes = Vec::new();
     let blocks: [(usize, usize, usize, usize); 13] = [
         // (c, k, input h/w, index-in-block) flattened per conv layer.
         (3, 64, 224, 1),
@@ -79,7 +100,7 @@ pub fn vgg16() -> ModelDesc {
             }
             prev_hw = hw;
         }
-        layers.push(LayerDesc::conv(
+        nodes.push(LayerNode::conv(
             &format!("conv{stage}_{idx}"),
             c,
             k,
@@ -91,16 +112,21 @@ pub fn vgg16() -> ModelDesc {
             1,
         ));
     }
-    layers.push(LayerDesc::fc("FC6", 512 * 7 * 7, 4096));
-    layers.push(LayerDesc::fc("FC7", 4096, 4096));
-    layers.push(LayerDesc::fc("FC8", 4096, 1000));
-    ModelDesc::new("VGG16", layers)
+    nodes.push(LayerNode::fc("FC6", 512 * 7 * 7, 4096));
+    nodes.push(LayerNode::fc("FC7", 4096, 4096));
+    nodes.push(LayerNode::fc("FC8", 4096, 1000));
+    ModelIr::new("VGG16", nodes)
+}
+
+/// VGG-16 for ImageNet (`3×224×224`).
+pub fn vgg16() -> ModelDesc {
+    to_model_desc(&vgg16_ir()).expect("catalog model has weight layers")
 }
 
 /// VGG-16 adapted for CIFAR-10 (`3×32×32`, 13 conv layers + one FC), the
-/// variant in Table II.
-pub fn vgg16_cifar() -> ModelDesc {
-    let mut layers = Vec::new();
+/// variant in Table II, as typed IR.
+pub fn vgg16_cifar_ir() -> ModelIr {
+    let mut nodes = Vec::new();
     let blocks: [(usize, usize, usize, usize); 13] = [
         (3, 64, 32, 1),
         (64, 64, 32, 2),
@@ -125,7 +151,7 @@ pub fn vgg16_cifar() -> ModelDesc {
             }
             prev_hw = hw;
         }
-        layers.push(LayerDesc::conv(
+        nodes.push(LayerNode::conv(
             &format!("conv{stage}_{idx}"),
             c,
             k,
@@ -137,8 +163,13 @@ pub fn vgg16_cifar() -> ModelDesc {
             1,
         ));
     }
-    layers.push(LayerDesc::fc("FC", 512, 10));
-    ModelDesc::new("VGG16-CIFAR", layers)
+    nodes.push(LayerNode::fc("FC", 512, 10));
+    ModelIr::new("VGG16-CIFAR", nodes)
+}
+
+/// VGG-16 adapted for CIFAR-10 (`3×32×32`).
+pub fn vgg16_cifar() -> ModelDesc {
+    to_model_desc(&vgg16_cifar_ir()).expect("catalog model has weight layers")
 }
 
 #[cfg(test)]

@@ -1,14 +1,18 @@
 //! Additional common benchmarks beyond the paper's own suite: GoogLeNet
 //! (evaluated by SCNN, the paper's direct baseline) and MobileNetV1 — so
 //! downstream users can run the standard sparse-accelerator workloads.
+//!
+//! Authored as typed IR (`*_ir`); the `ModelDesc` variants lower via
+//! `Ir → ModelDesc`.
 
-use crate::{LayerDesc, ModelDesc};
+use crate::lower::to_model_desc;
+use crate::{LayerNode, ModelDesc, ModelIr};
 
 /// Appends one Inception module: the four parallel branches of GoogLeNet
 /// (`1×1`, `1×1→3×3`, `1×1→5×5`, `pool→1×1`).
 #[allow(clippy::too_many_arguments)]
 fn inception(
-    layers: &mut Vec<LayerDesc>,
+    nodes: &mut Vec<LayerNode>,
     name: &str,
     cin: usize,
     c1: usize,
@@ -20,8 +24,8 @@ fn inception(
     hw: usize,
 ) -> usize {
     let n = |part: &str| format!("{name}/{part}");
-    layers.push(LayerDesc::conv(&n("1x1"), cin, c1, 1, 1, hw, hw, 1, 0));
-    layers.push(LayerDesc::conv(
+    nodes.push(LayerNode::conv(&n("1x1"), cin, c1, 1, 1, hw, hw, 1, 0));
+    nodes.push(LayerNode::conv(
         &n("3x3_reduce"),
         cin,
         c3r,
@@ -32,8 +36,8 @@ fn inception(
         1,
         0,
     ));
-    layers.push(LayerDesc::conv(&n("3x3"), c3r, c3, 3, 3, hw, hw, 1, 1));
-    layers.push(LayerDesc::conv(
+    nodes.push(LayerNode::conv(&n("3x3"), c3r, c3, 3, 3, hw, hw, 1, 1));
+    nodes.push(LayerNode::conv(
         &n("5x5_reduce"),
         cin,
         c5r,
@@ -44,8 +48,8 @@ fn inception(
         1,
         0,
     ));
-    layers.push(LayerDesc::conv(&n("5x5"), c5r, c5, 5, 5, hw, hw, 1, 2));
-    layers.push(LayerDesc::conv(
+    nodes.push(LayerNode::conv(&n("5x5"), c5r, c5, 5, 5, hw, hw, 1, 2));
+    nodes.push(LayerNode::conv(
         &n("pool_proj"),
         cin,
         pool_proj,
@@ -59,70 +63,26 @@ fn inception(
     c1 + c3 + c5 + pool_proj
 }
 
-/// GoogLeNet (Inception v1) for ImageNet (`3×224×224`) — the workload
-/// SCNN's own evaluation used alongside AlexNet and VGG.
-pub fn googlenet() -> ModelDesc {
-    let mut layers = vec![
-        LayerDesc::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3), // → 112
+/// GoogLeNet (Inception v1) for ImageNet (`3×224×224`) as typed IR — the
+/// workload SCNN's own evaluation used alongside AlexNet and VGG.
+pub fn googlenet_ir() -> ModelIr {
+    let mut nodes = vec![
+        LayerNode::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3), // → 112
         // maxpool → 56
-        LayerDesc::conv("conv2_reduce", 64, 64, 1, 1, 56, 56, 1, 0),
-        LayerDesc::conv("conv2", 64, 192, 3, 3, 56, 56, 1, 1),
+        LayerNode::conv("conv2_reduce", 64, 64, 1, 1, 56, 56, 1, 0),
+        LayerNode::conv("conv2", 64, 192, 3, 3, 56, 56, 1, 1),
         // maxpool → 28
     ];
     let mut c = 192;
-    c = inception(&mut layers, "inception_3a", c, 64, 96, 128, 16, 32, 32, 28);
-    c = inception(
-        &mut layers,
-        "inception_3b",
-        c,
-        128,
-        128,
-        192,
-        32,
-        96,
-        64,
-        28,
-    );
+    c = inception(&mut nodes, "inception_3a", c, 64, 96, 128, 16, 32, 32, 28);
+    c = inception(&mut nodes, "inception_3b", c, 128, 128, 192, 32, 96, 64, 28);
     // maxpool → 14
-    c = inception(&mut layers, "inception_4a", c, 192, 96, 208, 16, 48, 64, 14);
+    c = inception(&mut nodes, "inception_4a", c, 192, 96, 208, 16, 48, 64, 14);
+    c = inception(&mut nodes, "inception_4b", c, 160, 112, 224, 24, 64, 64, 14);
+    c = inception(&mut nodes, "inception_4c", c, 128, 128, 256, 24, 64, 64, 14);
+    c = inception(&mut nodes, "inception_4d", c, 112, 144, 288, 32, 64, 64, 14);
     c = inception(
-        &mut layers,
-        "inception_4b",
-        c,
-        160,
-        112,
-        224,
-        24,
-        64,
-        64,
-        14,
-    );
-    c = inception(
-        &mut layers,
-        "inception_4c",
-        c,
-        128,
-        128,
-        256,
-        24,
-        64,
-        64,
-        14,
-    );
-    c = inception(
-        &mut layers,
-        "inception_4d",
-        c,
-        112,
-        144,
-        288,
-        32,
-        64,
-        64,
-        14,
-    );
-    c = inception(
-        &mut layers,
+        &mut nodes,
         "inception_4e",
         c,
         256,
@@ -135,7 +95,7 @@ pub fn googlenet() -> ModelDesc {
     );
     // maxpool → 7
     c = inception(
-        &mut layers,
+        &mut nodes,
         "inception_5a",
         c,
         256,
@@ -147,7 +107,7 @@ pub fn googlenet() -> ModelDesc {
         7,
     );
     c = inception(
-        &mut layers,
+        &mut nodes,
         "inception_5b",
         c,
         384,
@@ -158,15 +118,20 @@ pub fn googlenet() -> ModelDesc {
         128,
         7,
     );
-    layers.push(LayerDesc::fc("fc", c, 1000));
-    ModelDesc::new("GoogLeNet", layers)
+    nodes.push(LayerNode::fc("fc", c, 1000));
+    ModelIr::new("GoogLeNet", nodes)
 }
 
-/// MobileNetV1 (×1.0) for ImageNet (`3×224×224`): depthwise-separable
-/// stacks — the canonical pointwise-dominated workload.
-pub fn mobilenet_v1() -> ModelDesc {
-    let mut layers = vec![LayerDesc::conv("conv1", 3, 32, 3, 3, 224, 224, 2, 1)]; // → 112
-                                                                                  // (cin, cout, stride, input hw) per depthwise-separable block.
+/// GoogLeNet (Inception v1) for ImageNet (`3×224×224`).
+pub fn googlenet() -> ModelDesc {
+    to_model_desc(&googlenet_ir()).expect("catalog model has weight layers")
+}
+
+/// MobileNetV1 (×1.0) for ImageNet (`3×224×224`) as typed IR: depthwise-
+/// separable stacks — the canonical pointwise-dominated workload.
+pub fn mobilenet_v1_ir() -> ModelIr {
+    let mut nodes = vec![LayerNode::conv("conv1", 3, 32, 3, 3, 224, 224, 2, 1)]; // → 112
+                                                                                 // (cin, cout, stride, input hw) per depthwise-separable block.
     let blocks: [(usize, usize, usize, usize); 13] = [
         (32, 64, 1, 112),
         (64, 128, 2, 112),
@@ -184,7 +149,7 @@ pub fn mobilenet_v1() -> ModelDesc {
     ];
     for (i, &(cin, cout, stride, hw)) in blocks.iter().enumerate() {
         let out_hw = hw / stride;
-        layers.push(LayerDesc::grouped(
+        nodes.push(LayerNode::grouped(
             &format!("dw{}", i + 1),
             cin,
             cin,
@@ -196,7 +161,7 @@ pub fn mobilenet_v1() -> ModelDesc {
             1,
             cin,
         ));
-        layers.push(LayerDesc::conv(
+        nodes.push(LayerNode::conv(
             &format!("pw{}", i + 1),
             cin,
             cout,
@@ -208,8 +173,13 @@ pub fn mobilenet_v1() -> ModelDesc {
             0,
         ));
     }
-    layers.push(LayerDesc::fc("fc", 1024, 1000));
-    ModelDesc::new("MobileNetV1", layers)
+    nodes.push(LayerNode::fc("fc", 1024, 1000));
+    ModelIr::new("MobileNetV1", nodes)
+}
+
+/// MobileNetV1 (×1.0) for ImageNet (`3×224×224`).
+pub fn mobilenet_v1() -> ModelDesc {
+    to_model_desc(&mobilenet_v1_ir()).expect("catalog model has weight layers")
 }
 
 #[cfg(test)]

@@ -1,11 +1,15 @@
 //! Compact/mobile families: SqueezeNet, ShuffleNet-V2, EfficientNet-B7.
+//!
+//! Authored as typed IR (`*_ir`); the `ModelDesc` variants lower via
+//! `Ir → ModelDesc`.
 
-use crate::{LayerDesc, ModelDesc};
+use crate::lower::to_model_desc;
+use crate::{LayerNode, ModelDesc, ModelIr};
 
 /// Appends a SqueezeNet fire module: 1×1 squeeze, then parallel 1×1 and 3×3
 /// expands.
 fn fire(
-    layers: &mut Vec<LayerDesc>,
+    nodes: &mut Vec<LayerNode>,
     idx: usize,
     cin: usize,
     squeeze: usize,
@@ -13,7 +17,7 @@ fn fire(
     hw: usize,
 ) {
     let name = |part: &str| format!("fire{idx}/{part}");
-    layers.push(LayerDesc::conv(
+    nodes.push(LayerNode::conv(
         &name("squeeze1x1"),
         cin,
         squeeze,
@@ -24,7 +28,7 @@ fn fire(
         1,
         0,
     ));
-    layers.push(LayerDesc::conv(
+    nodes.push(LayerNode::conv(
         &name("expand1x1"),
         squeeze,
         expand,
@@ -35,7 +39,7 @@ fn fire(
         1,
         0,
     ));
-    layers.push(LayerDesc::conv(
+    nodes.push(LayerNode::conv(
         &name("expand3x3"),
         squeeze,
         expand,
@@ -48,28 +52,33 @@ fn fire(
     ));
 }
 
+/// SqueezeNet 1.0 for ImageNet (`3×224×224`) as typed IR.
+pub fn squeezenet_ir() -> ModelIr {
+    let mut nodes = vec![LayerNode::conv("conv1", 3, 96, 7, 7, 224, 224, 2, 0)]; // → 109
+                                                                                 // maxpool 3/2 → 54.
+    fire(&mut nodes, 2, 96, 16, 64, 54);
+    fire(&mut nodes, 3, 128, 16, 64, 54);
+    fire(&mut nodes, 4, 128, 32, 128, 54);
+    // maxpool → 27.
+    fire(&mut nodes, 5, 256, 32, 128, 27);
+    fire(&mut nodes, 6, 256, 48, 192, 27);
+    fire(&mut nodes, 7, 384, 48, 192, 27);
+    fire(&mut nodes, 8, 384, 64, 256, 27);
+    // maxpool → 13.
+    fire(&mut nodes, 9, 512, 64, 256, 13);
+    nodes.push(LayerNode::conv("conv10", 512, 1000, 1, 1, 13, 13, 1, 0));
+    ModelIr::new("SqueezeNet", nodes)
+}
+
 /// SqueezeNet 1.0 for ImageNet (`3×224×224`).
 pub fn squeezenet() -> ModelDesc {
-    let mut layers = vec![LayerDesc::conv("conv1", 3, 96, 7, 7, 224, 224, 2, 0)]; // → 109
-                                                                                  // maxpool 3/2 → 54.
-    fire(&mut layers, 2, 96, 16, 64, 54);
-    fire(&mut layers, 3, 128, 16, 64, 54);
-    fire(&mut layers, 4, 128, 32, 128, 54);
-    // maxpool → 27.
-    fire(&mut layers, 5, 256, 32, 128, 27);
-    fire(&mut layers, 6, 256, 48, 192, 27);
-    fire(&mut layers, 7, 384, 48, 192, 27);
-    fire(&mut layers, 8, 384, 64, 256, 27);
-    // maxpool → 13.
-    fire(&mut layers, 9, 512, 64, 256, 13);
-    layers.push(LayerDesc::conv("conv10", 512, 1000, 1, 1, 13, 13, 1, 0));
-    ModelDesc::new("SqueezeNet", layers)
+    to_model_desc(&squeezenet_ir()).expect("catalog model has weight layers")
 }
 
 /// Appends one ShuffleNet-V2 stage: a stride-2 downsample unit followed by
 /// `units - 1` stride-1 units. Returns the stage's output spatial extent.
 fn shuffle_stage(
-    layers: &mut Vec<LayerDesc>,
+    nodes: &mut Vec<LayerNode>,
     stage: usize,
     cin: usize,
     cout: usize,
@@ -80,7 +89,7 @@ fn shuffle_stage(
     let out_hw = hw / 2;
     let name = |u: usize, part: &str| format!("stage{stage}_{u}/{part}");
     // Downsample unit: two branches, both stride 2.
-    layers.push(LayerDesc::grouped(
+    nodes.push(LayerNode::grouped(
         &name(0, "b1_dw"),
         cin,
         cin,
@@ -92,7 +101,7 @@ fn shuffle_stage(
         1,
         cin,
     ));
-    layers.push(LayerDesc::conv(
+    nodes.push(LayerNode::conv(
         &name(0, "b1_pw"),
         cin,
         half,
@@ -103,7 +112,7 @@ fn shuffle_stage(
         1,
         0,
     ));
-    layers.push(LayerDesc::conv(
+    nodes.push(LayerNode::conv(
         &name(0, "b2_pw1"),
         cin,
         half,
@@ -114,7 +123,7 @@ fn shuffle_stage(
         1,
         0,
     ));
-    layers.push(LayerDesc::grouped(
+    nodes.push(LayerNode::grouped(
         &name(0, "b2_dw"),
         half,
         half,
@@ -126,7 +135,7 @@ fn shuffle_stage(
         1,
         half,
     ));
-    layers.push(LayerDesc::conv(
+    nodes.push(LayerNode::conv(
         &name(0, "b2_pw2"),
         half,
         half,
@@ -140,7 +149,7 @@ fn shuffle_stage(
     // Stride-1 units: only one branch carries weights (the other half of the
     // channels passes through the channel shuffle).
     for u in 1..units {
-        layers.push(LayerDesc::conv(
+        nodes.push(LayerNode::conv(
             &name(u, "pw1"),
             half,
             half,
@@ -151,7 +160,7 @@ fn shuffle_stage(
             1,
             0,
         ));
-        layers.push(LayerDesc::grouped(
+        nodes.push(LayerNode::grouped(
             &name(u, "dw"),
             half,
             half,
@@ -163,7 +172,7 @@ fn shuffle_stage(
             1,
             half,
         ));
-        layers.push(LayerDesc::conv(
+        nodes.push(LayerNode::conv(
             &name(u, "pw2"),
             half,
             half,
@@ -178,17 +187,22 @@ fn shuffle_stage(
     out_hw
 }
 
+/// ShuffleNet-V2 ×1.0 for ImageNet (`3×224×224`) as typed IR.
+pub fn shufflenet_v2_ir() -> ModelIr {
+    let mut nodes = vec![LayerNode::conv("conv1", 3, 24, 3, 3, 224, 224, 2, 1)]; // → 112
+                                                                                 // maxpool → 56.
+    let mut hw = 56;
+    hw = shuffle_stage(&mut nodes, 2, 24, 116, 4, hw);
+    hw = shuffle_stage(&mut nodes, 3, 116, 232, 8, hw);
+    hw = shuffle_stage(&mut nodes, 4, 232, 464, 4, hw);
+    nodes.push(LayerNode::conv("conv5", 464, 1024, 1, 1, hw, hw, 1, 0));
+    nodes.push(LayerNode::fc("fc", 1024, 1000));
+    ModelIr::new("ShuffleNet-V2", nodes)
+}
+
 /// ShuffleNet-V2 ×1.0 for ImageNet (`3×224×224`).
 pub fn shufflenet_v2() -> ModelDesc {
-    let mut layers = vec![LayerDesc::conv("conv1", 3, 24, 3, 3, 224, 224, 2, 1)]; // → 112
-                                                                                  // maxpool → 56.
-    let mut hw = 56;
-    hw = shuffle_stage(&mut layers, 2, 24, 116, 4, hw);
-    hw = shuffle_stage(&mut layers, 3, 116, 232, 8, hw);
-    hw = shuffle_stage(&mut layers, 4, 232, 464, 4, hw);
-    layers.push(LayerDesc::conv("conv5", 464, 1024, 1, 1, hw, hw, 1, 0));
-    layers.push(LayerDesc::fc("fc", 1024, 1000));
-    ModelDesc::new("ShuffleNet-V2", layers)
+    to_model_desc(&shufflenet_v2_ir()).expect("catalog model has weight layers")
 }
 
 /// Rounds a scaled channel count to the nearest multiple of 8 (the
@@ -202,10 +216,10 @@ fn round_filters(c: usize, width: f64) -> usize {
     new.max(8)
 }
 
-/// EfficientNet-B7 for ImageNet (`3×600×600`): B0's MBConv stages scaled by
-/// width 2.0 and depth 3.1. Squeeze-excite sub-layers are omitted (they
-/// contribute < 1 % of MACs; documented in DESIGN.md).
-pub fn efficientnet_b7() -> ModelDesc {
+/// EfficientNet-B7 for ImageNet (`3×600×600`) as typed IR: B0's MBConv
+/// stages scaled by width 2.0 and depth 3.1. Squeeze-excite sub-layers are
+/// omitted (they contribute < 1 % of MACs; documented in DESIGN.md).
+pub fn efficientnet_b7_ir() -> ModelIr {
     const WIDTH: f64 = 2.0;
     const DEPTH: f64 = 3.1;
     // B0 stage table: (expand, channels, repeats, stride, kernel).
@@ -219,7 +233,7 @@ pub fn efficientnet_b7() -> ModelDesc {
         (6, 320, 1, 1, 3),
     ];
     let stem = round_filters(32, WIDTH);
-    let mut layers = vec![LayerDesc::conv("stem", 3, stem, 3, 3, 600, 600, 2, 1)]; // → 300
+    let mut nodes = vec![LayerNode::conv("stem", 3, stem, 3, 3, 600, 600, 2, 1)]; // → 300
     let mut hw = 300;
     let mut cin = stem;
     for (si, &(t, c, n, s, k)) in STAGES.iter().enumerate() {
@@ -230,7 +244,7 @@ pub fn efficientnet_b7() -> ModelDesc {
             let name = |part: &str| format!("mb{}_{b}/{part}", si + 1);
             let expanded = cin * t;
             if t != 1 {
-                layers.push(LayerDesc::conv(
+                nodes.push(LayerNode::conv(
                     &name("expand"),
                     cin,
                     expanded,
@@ -242,7 +256,7 @@ pub fn efficientnet_b7() -> ModelDesc {
                     0,
                 ));
             }
-            layers.push(LayerDesc::grouped(
+            nodes.push(LayerNode::grouped(
                 &name("dw"),
                 expanded,
                 expanded,
@@ -255,7 +269,7 @@ pub fn efficientnet_b7() -> ModelDesc {
                 expanded,
             ));
             let out_hw = if stride == 2 { hw.div_ceil(2) } else { hw };
-            layers.push(LayerDesc::conv(
+            nodes.push(LayerNode::conv(
                 &name("project"),
                 expanded,
                 cout,
@@ -271,9 +285,14 @@ pub fn efficientnet_b7() -> ModelDesc {
         }
     }
     let head = round_filters(1280, WIDTH);
-    layers.push(LayerDesc::conv("head", cin, head, 1, 1, hw, hw, 1, 0));
-    layers.push(LayerDesc::fc("fc", head, 1000));
-    ModelDesc::new("EfficientNet-B7", layers)
+    nodes.push(LayerNode::conv("head", cin, head, 1, 1, hw, hw, 1, 0));
+    nodes.push(LayerNode::fc("fc", head, 1000));
+    ModelIr::new("EfficientNet-B7", nodes)
+}
+
+/// EfficientNet-B7 for ImageNet (`3×600×600`).
+pub fn efficientnet_b7() -> ModelDesc {
+    to_model_desc(&efficientnet_b7_ir()).expect("catalog model has weight layers")
 }
 
 #[cfg(test)]

@@ -1,20 +1,30 @@
 //! Shape catalogs of the benchmark CNNs.
 //!
-//! Each function returns a [`crate::ModelDesc`] listing every
-//! weight-bearing layer of the network with its exact geometry, from which
-//! MAC counts, storage and simulator workloads are derived. Shapes follow
-//! the canonical published architectures (torchvision conventions where the
-//! paper does not specify).
+//! Each model is authored as typed IR: the `*_ir` function returns a
+//! [`crate::ModelIr`] and the plain function lowers it to a
+//! [`crate::ModelDesc`] listing every weight-bearing layer of the network
+//! with its exact geometry, from which MAC counts, storage and simulator
+//! workloads are derived. Shapes follow the canonical published
+//! architectures (torchvision conventions where the paper does not
+//! specify).
 
 mod classic;
 mod extra;
 mod mobile;
 mod resnet;
 
-pub use classic::{alexnet, convnet, lenet5, vgg16, vgg16_cifar};
-pub use extra::{googlenet, mobilenet_v1};
-pub use mobile::{efficientnet_b7, shufflenet_v2, squeezenet};
-pub use resnet::{resnet152, resnet18, resnet50, resnext101, wide_resnet28_10};
+pub use classic::{
+    alexnet, alexnet_ir, convnet, convnet_ir, lenet5, lenet5_ir, vgg16, vgg16_cifar,
+    vgg16_cifar_ir, vgg16_ir,
+};
+pub use extra::{googlenet, googlenet_ir, mobilenet_v1, mobilenet_v1_ir};
+pub use mobile::{
+    efficientnet_b7, efficientnet_b7_ir, shufflenet_v2, shufflenet_v2_ir, squeezenet, squeezenet_ir,
+};
+pub use resnet::{
+    resnet152, resnet152_ir, resnet18, resnet18_ir, resnet50, resnet50_ir, resnext101,
+    resnext101_ir, wide_resnet28_10, wide_resnet28_10_ir,
+};
 
 use crate::ModelDesc;
 

@@ -1,13 +1,17 @@
 //! Residual families: ResNet-18/50/152, ResNeXt-101, WideResNet-28-10.
+//!
+//! Authored as typed IR (`*_ir`); the `ModelDesc` variants lower via
+//! `Ir → ModelDesc`.
 
-use crate::{LayerDesc, ModelDesc};
+use crate::lower::to_model_desc;
+use crate::{LayerNode, ModelDesc, ModelIr};
 
 /// Builds a basic-block stage (two 3×3 convs per block).
 ///
 /// `h` is the stage's input spatial extent; the first block applies `stride`
 /// (and a 1×1 projection shortcut when stride ≠ 1 or channels change).
 fn basic_stage(
-    layers: &mut Vec<LayerDesc>,
+    nodes: &mut Vec<LayerNode>,
     stage: usize,
     blocks: usize,
     cin: usize,
@@ -20,9 +24,9 @@ fn basic_stage(
     for b in 0..blocks {
         let s = if b == 0 { stride } else { 1 };
         let name = |part: &str| format!("conv{stage}_{b}_{part}");
-        layers.push(LayerDesc::conv(&name("a"), c, cout, 3, 3, hw, hw, s, 1));
+        nodes.push(LayerNode::conv(&name("a"), c, cout, 3, 3, hw, hw, s, 1));
         let out_hw = hw / s;
-        layers.push(LayerDesc::conv(
+        nodes.push(LayerNode::conv(
             &name("b"),
             cout,
             cout,
@@ -34,7 +38,7 @@ fn basic_stage(
             1,
         ));
         if b == 0 && (s != 1 || c != cout) {
-            layers.push(LayerDesc::conv(&name("ds"), c, cout, 1, 1, hw, hw, s, 0));
+            nodes.push(LayerNode::conv(&name("ds"), c, cout, 1, 1, hw, hw, s, 0));
         }
         c = cout;
         hw = out_hw;
@@ -46,7 +50,7 @@ fn basic_stage(
 /// grouped in the 3×3 (ResNeXt).
 #[allow(clippy::too_many_arguments)]
 fn bottleneck_stage(
-    layers: &mut Vec<LayerDesc>,
+    nodes: &mut Vec<LayerNode>,
     stage: usize,
     blocks: usize,
     cin: usize,
@@ -61,8 +65,8 @@ fn bottleneck_stage(
     for b in 0..blocks {
         let s = if b == 0 { stride } else { 1 };
         let name = |part: &str| format!("conv{stage}_{b}_{part}");
-        layers.push(LayerDesc::conv(&name("1x1a"), c, width, 1, 1, hw, hw, 1, 0));
-        layers.push(LayerDesc::grouped(
+        nodes.push(LayerNode::conv(&name("1x1a"), c, width, 1, 1, hw, hw, 1, 0));
+        nodes.push(LayerNode::grouped(
             &name("3x3"),
             width,
             width,
@@ -75,7 +79,7 @@ fn bottleneck_stage(
             groups,
         ));
         let out_hw = hw / s;
-        layers.push(LayerDesc::conv(
+        nodes.push(LayerNode::conv(
             &name("1x1b"),
             width,
             cout,
@@ -87,7 +91,7 @@ fn bottleneck_stage(
             0,
         ));
         if b == 0 && (s != 1 || c != cout) {
-            layers.push(LayerDesc::conv(&name("ds"), c, cout, 1, 1, hw, hw, s, 0));
+            nodes.push(LayerNode::conv(&name("ds"), c, cout, 1, 1, hw, hw, s, 0));
         }
         c = cout;
         hw = out_hw;
@@ -95,34 +99,49 @@ fn bottleneck_stage(
     hw
 }
 
-/// ResNet-18 for ImageNet (`3×224×224`).
-pub fn resnet18() -> ModelDesc {
-    let mut layers = vec![LayerDesc::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3)];
+/// ResNet-18 for ImageNet (`3×224×224`) as typed IR.
+pub fn resnet18_ir() -> ModelIr {
+    let mut nodes = vec![LayerNode::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3)];
     // maxpool 112 → 56.
     let mut hw = 56;
-    hw = basic_stage(&mut layers, 2, 2, 64, 64, hw, 1);
-    hw = basic_stage(&mut layers, 3, 2, 64, 128, hw, 2);
-    hw = basic_stage(&mut layers, 4, 2, 128, 256, hw, 2);
-    let _ = basic_stage(&mut layers, 5, 2, 256, 512, hw, 2);
-    layers.push(LayerDesc::fc("fc", 512, 1000));
-    ModelDesc::new("ResNet-18", layers)
+    hw = basic_stage(&mut nodes, 2, 2, 64, 64, hw, 1);
+    hw = basic_stage(&mut nodes, 3, 2, 64, 128, hw, 2);
+    hw = basic_stage(&mut nodes, 4, 2, 128, 256, hw, 2);
+    let _ = basic_stage(&mut nodes, 5, 2, 256, 512, hw, 2);
+    nodes.push(LayerNode::fc("fc", 512, 1000));
+    ModelIr::new("ResNet-18", nodes)
+}
+
+/// ResNet-18 for ImageNet (`3×224×224`).
+pub fn resnet18() -> ModelDesc {
+    to_model_desc(&resnet18_ir()).expect("catalog model has weight layers")
+}
+
+/// ResNet-50 for ImageNet as typed IR.
+pub fn resnet50_ir() -> ModelIr {
+    resnet_bottleneck("ResNet-50", &[3, 4, 6, 3], 1)
 }
 
 /// ResNet-50 for ImageNet.
 pub fn resnet50() -> ModelDesc {
-    resnet_bottleneck("ResNet-50", &[3, 4, 6, 3], 1)
+    to_model_desc(&resnet50_ir()).expect("catalog model has weight layers")
+}
+
+/// ResNet-152 for ImageNet as typed IR.
+pub fn resnet152_ir() -> ModelIr {
+    resnet_bottleneck("ResNet-152", &[3, 8, 36, 3], 1)
 }
 
 /// ResNet-152 for ImageNet.
 pub fn resnet152() -> ModelDesc {
-    resnet_bottleneck("ResNet-152", &[3, 8, 36, 3], 1)
+    to_model_desc(&resnet152_ir()).expect("catalog model has weight layers")
 }
 
-/// ResNeXt-101 (32×4d) for ImageNet: ResNet-101 stage depths with 32-way
-/// grouped 3×3 convs and doubled internal width.
-pub fn resnext101() -> ModelDesc {
+/// ResNeXt-101 (32×4d) for ImageNet as typed IR: ResNet-101 stage depths
+/// with 32-way grouped 3×3 convs and doubled internal width.
+pub fn resnext101_ir() -> ModelIr {
     let depths = [3usize, 4, 23, 3];
-    let mut layers = vec![LayerDesc::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3)];
+    let mut nodes = vec![LayerNode::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3)];
     let mut hw = 56;
     let mut cin = 64;
     // 32x4d: internal widths 128/256/512/1024, outputs 256/512/1024/2048.
@@ -131,7 +150,7 @@ pub fn resnext101() -> ModelDesc {
     for (i, &blocks) in depths.iter().enumerate() {
         let stride = if i == 0 { 1 } else { 2 };
         hw = bottleneck_stage(
-            &mut layers,
+            &mut nodes,
             i + 2,
             blocks,
             cin,
@@ -143,12 +162,17 @@ pub fn resnext101() -> ModelDesc {
         );
         cin = couts[i];
     }
-    layers.push(LayerDesc::fc("fc", 2048, 1000));
-    ModelDesc::new("ResNeXt-101", layers)
+    nodes.push(LayerNode::fc("fc", 2048, 1000));
+    ModelIr::new("ResNeXt-101", nodes)
 }
 
-fn resnet_bottleneck(name: &str, depths: &[usize; 4], groups: usize) -> ModelDesc {
-    let mut layers = vec![LayerDesc::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3)];
+/// ResNeXt-101 (32×4d) for ImageNet.
+pub fn resnext101() -> ModelDesc {
+    to_model_desc(&resnext101_ir()).expect("catalog model has weight layers")
+}
+
+fn resnet_bottleneck(name: &str, depths: &[usize; 4], groups: usize) -> ModelIr {
+    let mut nodes = vec![LayerNode::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3)];
     let mut hw = 56;
     let mut cin = 64;
     let widths = [64usize, 128, 256, 512];
@@ -156,7 +180,7 @@ fn resnet_bottleneck(name: &str, depths: &[usize; 4], groups: usize) -> ModelDes
     for (i, &blocks) in depths.iter().enumerate() {
         let stride = if i == 0 { 1 } else { 2 };
         hw = bottleneck_stage(
-            &mut layers,
+            &mut nodes,
             i + 2,
             blocks,
             cin,
@@ -168,19 +192,25 @@ fn resnet_bottleneck(name: &str, depths: &[usize; 4], groups: usize) -> ModelDes
         );
         cin = couts[i];
     }
-    layers.push(LayerDesc::fc("fc", 2048, 1000));
-    ModelDesc::new(name, layers)
+    nodes.push(LayerNode::fc("fc", 2048, 1000));
+    ModelIr::new(name, nodes)
 }
 
-/// WideResNet-28-10 for CIFAR-10 (`3×32×32`), the Table II entry.
-pub fn wide_resnet28_10() -> ModelDesc {
-    let mut layers = vec![LayerDesc::conv("conv1", 3, 16, 3, 3, 32, 32, 1, 1)];
+/// WideResNet-28-10 for CIFAR-10 (`3×32×32`), the Table II entry, as typed
+/// IR.
+pub fn wide_resnet28_10_ir() -> ModelIr {
+    let mut nodes = vec![LayerNode::conv("conv1", 3, 16, 3, 3, 32, 32, 1, 1)];
     let mut hw = 32;
-    hw = basic_stage(&mut layers, 2, 4, 16, 160, hw, 1);
-    hw = basic_stage(&mut layers, 3, 4, 160, 320, hw, 2);
-    let _ = basic_stage(&mut layers, 4, 4, 320, 640, hw, 2);
-    layers.push(LayerDesc::fc("fc", 640, 10));
-    ModelDesc::new("WideResNet", layers)
+    hw = basic_stage(&mut nodes, 2, 4, 16, 160, hw, 1);
+    hw = basic_stage(&mut nodes, 3, 4, 160, 320, hw, 2);
+    let _ = basic_stage(&mut nodes, 4, 4, 320, 640, hw, 2);
+    nodes.push(LayerNode::fc("fc", 640, 10));
+    ModelIr::new("WideResNet", nodes)
+}
+
+/// WideResNet-28-10 for CIFAR-10 (`3×32×32`).
+pub fn wide_resnet28_10() -> ModelDesc {
+    to_model_desc(&wide_resnet28_10_ir()).expect("catalog model has weight layers")
 }
 
 #[cfg(test)]

@@ -24,9 +24,11 @@
 
 pub mod catalog;
 mod layer;
+pub mod lower;
 pub mod mults;
 pub mod sparsity;
 
+pub use cscnn_ir::{IrError, LayerNode, ModelIr};
 pub use layer::{LayerDesc, LayerKind, ModelDesc};
 pub use mults::{CompressionScheme, ModelCompression};
 pub use sparsity::SparsityProfile;

@@ -11,6 +11,7 @@
 //! 2. Retrain the network (the usual [`crate::trainer::Trainer`] loop); the
 //!    tied gradients keep the structure intact while recovering accuracy.
 
+use cscnn_ir::IrError;
 use cscnn_sparse::centro;
 use cscnn_tensor::Tensor;
 
@@ -55,10 +56,28 @@ pub fn centrosymmetrize_conv(conv: &mut Conv2d) -> bool {
 
 /// Applies [`centrosymmetrize_conv`] to every conv layer in the network;
 /// returns the number of layers converted.
-pub fn centrosymmetrize(net: &mut Network) -> usize {
-    net.conv_layers_mut()
-        .map(|c| centrosymmetrize_conv(c) as usize)
-        .sum()
+///
+/// # Errors
+///
+/// [`IrError::NonFiniteWeights`] naming the offending layer (`L{i}` by
+/// network index) when a conv layer's weights contain NaN/infinite values
+/// — projecting such a filter would silently spread the poison across its
+/// dual positions.
+pub fn centrosymmetrize(net: &mut Network) -> Result<usize, IrError> {
+    let mut converted = 0;
+    for i in 0..net.len() {
+        let Some(conv) = net.layer_mut(i).as_conv_mut() else {
+            continue;
+        };
+        if !conv.weight().value.as_slice().iter().all(|x| x.is_finite()) {
+            return Err(IrError::NonFiniteWeights {
+                layer: format!("L{i}"),
+                kind: "conv2d".to_string(),
+            });
+        }
+        converted += usize::from(centrosymmetrize_conv(conv));
+    }
+    Ok(converted)
 }
 
 /// Verifies that every centrosymmetric-flagged conv layer still satisfies
@@ -112,15 +131,26 @@ impl MultCount {
 /// of each conv layer (`inputs[i]` is the `(h, w)` fed to the i-th conv
 /// layer, in network order).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `inputs` has fewer entries than there are conv layers.
-pub fn count_multiplications(net: &mut Network, inputs: &[(usize, usize)]) -> MultCount {
+/// [`IrError::MissingConvInput`] naming the starved layer (`L{i}` by
+/// network index) when `inputs` has fewer entries than there are conv
+/// layers.
+pub fn count_multiplications(
+    net: &mut Network,
+    inputs: &[(usize, usize)],
+) -> Result<MultCount, IrError> {
     let mut out = MultCount::default();
     let mut idx = 0;
-    #[allow(clippy::explicit_counter_loop)] // idx indexes the parallel `inputs` slice
-    for conv in net.conv_layers_mut() {
-        let (h, w) = *inputs.get(idx).expect("missing conv input size");
+    for i in 0..net.len() {
+        let Some(conv) = net.layer_mut(i).as_conv_mut() else {
+            continue;
+        };
+        let Some(&(h, w)) = inputs.get(idx) else {
+            return Err(IrError::MissingConvInput {
+                layer: format!("L{i}"),
+            });
+        };
         idx += 1;
         let spec = *conv.spec();
         let (oh, ow) = spec.output_dim(h, w);
@@ -153,7 +183,7 @@ pub fn count_multiplications(net: &mut Network, inputs: &[(usize, usize)]) -> Mu
         }
         out.pruned += nnz_unique * pixels;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -212,8 +242,24 @@ mod tests {
             ConvSpec::new(3, 3).with_stride(2),
         ));
         net.push(Conv2d::new(&mut rng, 2, 2, ConvSpec::new(5, 5)));
-        assert_eq!(centrosymmetrize(&mut net), 2);
+        assert_eq!(centrosymmetrize(&mut net).expect("finite weights"), 2);
         assert!(check_invariant(&mut net, 1e-6));
+    }
+
+    #[test]
+    fn walkers_name_the_offending_layer() {
+        use crate::layers::Relu;
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut net = Network::new();
+        net.push(Relu::new());
+        net.push(Conv2d::new(&mut rng, 1, 2, ConvSpec::new(3, 3)));
+        let err = count_multiplications(&mut net, &[]).expect_err("no input sizes");
+        assert_eq!(err, IrError::MissingConvInput { layer: "L1".into() });
+        let conv = net.layer_mut(1).as_conv_mut().expect("conv layer");
+        conv.weight_mut().value.as_mut_slice()[0] = f32::NAN;
+        let err = centrosymmetrize(&mut net).expect_err("NaN weight");
+        assert!(matches!(err, IrError::NonFiniteWeights { .. }));
+        assert!(err.to_string().contains("L1"));
     }
 
     #[test]
@@ -226,8 +272,8 @@ mod tests {
             8,
             ConvSpec::new(3, 3).with_padding(1),
         ));
-        centrosymmetrize(&mut net);
-        let mc = count_multiplications(&mut net, &[(16, 16)]);
+        centrosymmetrize(&mut net).expect("finite weights");
+        let mc = count_multiplications(&mut net, &[(16, 16)]).expect("input sizes provided");
         // 3x3: 9 dense vs 5 unique → 1.8x.
         assert!((mc.centro_reduction() - 1.8).abs() < 1e-9);
         assert_eq!(mc.pruned, mc.centrosymmetric, "no pruning applied yet");

@@ -6,11 +6,12 @@
 //!
 //! [`Network`]: crate::Network
 
+use cscnn_ir::{ActivationKind, DescribeError, LayerNode, PoolKind};
 use cscnn_rng::Rng;
 use cscnn_sparse::centro;
 use cscnn_tensor::{
-    conv2d, conv2d_backward, kaiming_uniform, matmul, matmul_at, matmul_bt, max_pool2d,
-    max_pool2d_backward, ConvSpec, PoolSpec, Tensor,
+    conv2d_grouped, conv2d_grouped_backward, kaiming_uniform, matmul, matmul_at, matmul_bt,
+    max_pool2d, max_pool2d_backward, ConvSpec, PoolSpec, Tensor,
 };
 
 /// A trainable parameter: value, gradient accumulator, and an optional
@@ -58,26 +59,13 @@ impl Param {
     }
 }
 
-/// Object-safe downcast support so [`crate::Network`] can address concrete
-/// layer types (e.g. conv layers for the centrosymmetric/pruning passes).
-pub trait AsAnyMut {
-    /// `&mut dyn Any` view of self.
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
-}
-
-impl<T: 'static> AsAnyMut for T {
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
-    }
-}
-
 /// A differentiable network layer.
 ///
 /// Layers are stateful: `forward` caches activations that `backward`
 /// consumes. `backward` must be called with the gradient of the loss w.r.t.
 /// this layer's most recent output, and returns the gradient w.r.t. its
 /// input.
-pub trait Layer: AsAnyMut {
+pub trait Layer {
     /// Computes the layer output for `input` (batched: leading dim is `N`).
     fn forward(&mut self, input: &Tensor) -> Tensor;
 
@@ -98,6 +86,37 @@ pub trait Layer: AsAnyMut {
 
     /// Human-readable layer kind.
     fn name(&self) -> &'static str;
+
+    /// Describes this layer as a typed IR node given the shape of the
+    /// tensor it will receive (`input` is the full batched shape, e.g.
+    /// `[N, C, H, W]`). This is the `Network → Ir` lowering hook: every
+    /// layer reports its exact geometry instead of being downcast by
+    /// consumers.
+    ///
+    /// # Errors
+    ///
+    /// [`DescribeError`] when `input` is inconsistent with the layer.
+    fn describe(&self, input: &[usize]) -> Result<LayerNode, DescribeError>;
+
+    /// Density of this layer's *stored* weights (fraction with magnitude
+    /// above `eps`), measured over the unique half for layers trained
+    /// under the centrosymmetric constraint. `None` for weightless layers
+    /// and layers the workload synthesis does not time (pool, norm, …).
+    fn weight_density(&self, _eps: f32) -> Option<f64> {
+        None
+    }
+
+    /// Typed accessor: `Some` when this layer is a [`Conv2d`]. Replaces
+    /// the old `Any`-based downcasting — consumers outside `cscnn-nn` must
+    /// go through these accessors or [`Layer::describe`].
+    fn as_conv_mut(&mut self) -> Option<&mut Conv2d> {
+        None
+    }
+
+    /// Typed accessor: `Some` when this layer is a [`Linear`].
+    fn as_linear_mut(&mut self) -> Option<&mut Linear> {
+        None
+    }
 }
 
 /// 2-D convolution layer (`[N,C,H,W] → [N,K,H',W']`).
@@ -109,6 +128,7 @@ pub trait Layer: AsAnyMut {
 /// [`centrosymmetric::centrosymmetrize_conv`]: crate::centrosymmetric::centrosymmetrize_conv
 pub struct Conv2d {
     spec: ConvSpec,
+    groups: usize,
     weight: Param,
     bias: Param,
     centrosymmetric: bool,
@@ -116,7 +136,7 @@ pub struct Conv2d {
 }
 
 impl Conv2d {
-    /// Creates a conv layer with Kaiming-uniform weights.
+    /// Creates a dense (ungrouped) conv layer with Kaiming-uniform weights.
     ///
     /// # Panics
     ///
@@ -127,14 +147,39 @@ impl Conv2d {
         out_channels: usize,
         spec: ConvSpec,
     ) -> Self {
-        let fan_in = in_channels * spec.kernel_h * spec.kernel_w;
+        Self::grouped(rng, in_channels, out_channels, spec, 1)
+    }
+
+    /// Creates a grouped conv layer: filters are `[K, C/groups, R, S]` and
+    /// each group of `K/groups` filters sees only its own `C/groups` input
+    /// channels. `groups == in_channels == out_channels` is depthwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero or `groups` does not divide the
+    /// channel counts.
+    pub fn grouped<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        spec: ConvSpec,
+        groups: usize,
+    ) -> Self {
+        assert!(groups > 0, "groups must be positive");
+        assert!(
+            in_channels.is_multiple_of(groups) && out_channels.is_multiple_of(groups),
+            "groups={groups} must divide C={in_channels} and K={out_channels}"
+        );
+        let c_local = in_channels / groups;
+        let fan_in = c_local * spec.kernel_h * spec.kernel_w;
         let weight = kaiming_uniform(
             rng,
-            &[out_channels, in_channels, spec.kernel_h, spec.kernel_w],
+            &[out_channels, c_local, spec.kernel_h, spec.kernel_w],
             fan_in,
         );
         Conv2d {
             spec,
+            groups,
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_channels])),
             centrosymmetric: false,
@@ -142,9 +187,24 @@ impl Conv2d {
         }
     }
 
+    /// Creates a depthwise conv layer (`groups == channels`, one filter
+    /// slice per channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn depthwise<R: Rng>(rng: &mut R, channels: usize, spec: ConvSpec) -> Self {
+        Self::grouped(rng, channels, channels, spec, channels)
+    }
+
     /// The convolution geometry.
     pub fn spec(&self) -> &ConvSpec {
         &self.spec
+    }
+
+    /// The number of convolution groups (1 = dense).
+    pub fn groups(&self) -> usize {
+        self.groups
     }
 
     /// Whether the centrosymmetric gradient tying is active.
@@ -184,7 +244,13 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.cached_input = Some(input.clone());
-        conv2d(input, &self.weight.value, &self.bias.value, &self.spec)
+        conv2d_grouped(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            &self.spec,
+            self.groups,
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -192,7 +258,13 @@ impl Layer for Conv2d {
             .cached_input
             .take()
             .expect("backward called before forward");
-        let grads = conv2d_backward(&input, &self.weight.value, grad_out, &self.spec);
+        let grads = conv2d_grouped_backward(
+            &input,
+            &self.weight.value,
+            grad_out,
+            &self.spec,
+            self.groups,
+        );
         self.weight.grad = grads.weight;
         self.bias.grad = grads.bias;
         if self.centrosymmetric {
@@ -212,6 +284,64 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "conv2d"
+    }
+
+    fn describe(&self, input: &[usize]) -> Result<LayerNode, DescribeError> {
+        if input.len() != 4 {
+            return Err(DescribeError::new(
+                "conv2d",
+                format!("expected rank-4 [N,C,H,W] input, got rank {}", input.len()),
+            ));
+        }
+        let wd = self.weight.value.shape().dims();
+        let (k, c_local, r, s) = (wd[0], wd[1], wd[2], wd[3]);
+        let c = c_local * self.groups;
+        if input[1] != c {
+            return Err(DescribeError::new(
+                "conv2d",
+                format!("input has {} channels, layer expects {c}", input[1]),
+            ));
+        }
+        Ok(LayerNode::grouped(
+            self.name(),
+            c,
+            k,
+            r,
+            s,
+            input[2],
+            input[3],
+            self.spec.stride,
+            self.spec.padding,
+            self.groups,
+        )
+        .with_centrosymmetric(self.centrosymmetric))
+    }
+
+    fn weight_density(&self, eps: f32) -> Option<f64> {
+        let wd = self.weight.value.shape().dims();
+        let (k, c_local, r, s) = (wd[0], wd[1], wd[2], wd[3]);
+        let w = self.weight.value.as_slice();
+        if self.centrosymmetric {
+            // Hardware stores only the unique half (paper §III-A), so the
+            // density the simulator needs is over unique positions.
+            let unique = centro::unique_positions(r, s);
+            let mut nnz = 0usize;
+            for slice_idx in 0..k * c_local {
+                let base = slice_idx * r * s;
+                nnz += unique
+                    .iter()
+                    .filter(|&&(u, v)| w[base + u * s + v].abs() > eps)
+                    .count();
+            }
+            Some(nnz as f64 / (k * c_local * unique.len()) as f64)
+        } else {
+            let nnz = w.iter().filter(|x| x.abs() > eps).count();
+            Some(nnz as f64 / w.len() as f64)
+        }
+    }
+
+    fn as_conv_mut(&mut self) -> Option<&mut Conv2d> {
+        Some(self)
     }
 }
 
@@ -292,6 +422,40 @@ impl Layer for Linear {
     fn name(&self) -> &'static str {
         "linear"
     }
+
+    fn describe(&self, input: &[usize]) -> Result<LayerNode, DescribeError> {
+        if input.len() != 2 {
+            return Err(DescribeError::new(
+                "linear",
+                format!(
+                    "expected rank-2 [N, features] input, got rank {}",
+                    input.len()
+                ),
+            ));
+        }
+        let wd = self.weight.value.shape().dims();
+        let (out_features, in_features) = (wd[0], wd[1]);
+        if input[1] != in_features {
+            return Err(DescribeError::new(
+                "linear",
+                format!(
+                    "input has {} features, layer expects {in_features}",
+                    input[1]
+                ),
+            ));
+        }
+        Ok(LayerNode::fc(self.name(), in_features, out_features))
+    }
+
+    fn weight_density(&self, eps: f32) -> Option<f64> {
+        let w = self.weight.value.as_slice();
+        let nnz = w.iter().filter(|x| x.abs() > eps).count();
+        Some(nnz as f64 / w.len() as f64)
+    }
+
+    fn as_linear_mut(&mut self) -> Option<&mut Linear> {
+        Some(self)
+    }
 }
 
 /// Rectified linear unit.
@@ -337,6 +501,12 @@ impl Layer for Relu {
     fn name(&self) -> &'static str {
         "relu"
     }
+
+    fn describe(&self, _input: &[usize]) -> Result<LayerNode, DescribeError> {
+        Ok(LayerNode::Activation {
+            kind: ActivationKind::Relu,
+        })
+    }
 }
 
 /// Max pooling layer.
@@ -366,6 +536,20 @@ impl Layer for MaxPool {
 
     fn name(&self) -> &'static str {
         "maxpool"
+    }
+
+    fn describe(&self, input: &[usize]) -> Result<LayerNode, DescribeError> {
+        if input.len() != 4 {
+            return Err(DescribeError::new(
+                "maxpool",
+                format!("expected rank-4 [N,C,H,W] input, got rank {}", input.len()),
+            ));
+        }
+        Ok(LayerNode::Pool {
+            kind: PoolKind::Max,
+            window: self.spec.window,
+            stride: self.spec.stride,
+        })
     }
 }
 
@@ -449,6 +633,10 @@ impl Layer for Dropout {
     fn name(&self) -> &'static str {
         "dropout"
     }
+
+    fn describe(&self, _input: &[usize]) -> Result<LayerNode, DescribeError> {
+        Ok(LayerNode::Dropout { p: self.p })
+    }
 }
 
 /// Flattens `[N, ...]` to `[N, features]`.
@@ -483,6 +671,16 @@ impl Layer for Flatten {
 
     fn name(&self) -> &'static str {
         "flatten"
+    }
+
+    fn describe(&self, input: &[usize]) -> Result<LayerNode, DescribeError> {
+        if input.is_empty() {
+            return Err(DescribeError::new(
+                "flatten",
+                "expected a batched input, got rank 0",
+            ));
+        }
+        Ok(LayerNode::Flatten)
     }
 }
 

@@ -46,6 +46,7 @@ pub mod pruning;
 pub mod quant;
 pub mod trainer;
 
+pub use cscnn_ir::{DescribeError, IrError, LayerNode, ModelIr};
 pub use layers::{Conv2d, Dropout, Flatten, Layer, Linear, MaxPool, Param, Relu};
 pub use network::Network;
 pub use norm::{AvgPool, BatchNorm2d};

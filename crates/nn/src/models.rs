@@ -182,6 +182,47 @@ pub fn vgg_s_conv_inputs() -> Vec<(usize, usize)> {
     vec![(16, 16), (16, 16), (8, 8), (8, 8), (4, 4), (4, 4)]
 }
 
+/// A MobileNet-style depthwise-separable proxy: standard conv, then a
+/// depthwise 3×3 + pointwise 1×1 pair, then pool → FC. Exercises grouped
+/// convolution end-to-end (train → centro-project → IR → simulate).
+///
+/// # Panics
+///
+/// Panics if the spatial extent is not divisible by 2.
+pub fn mobile_cnn(channels: usize, h: usize, w: usize, classes: usize, seed: u64) -> Network {
+    assert!(
+        h.is_multiple_of(2) && w.is_multiple_of(2),
+        "spatial extent must be divisible by 2"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    net.push(Conv2d::new(
+        &mut rng,
+        channels,
+        8,
+        ConvSpec::new(3, 3).with_padding(1),
+    ));
+    net.push(Relu::new());
+    // Depthwise-separable block: per-channel 3x3 + channel-mixing 1x1.
+    net.push(Conv2d::depthwise(
+        &mut rng,
+        8,
+        ConvSpec::new(3, 3).with_padding(1),
+    ));
+    net.push(Relu::new());
+    net.push(Conv2d::new(&mut rng, 8, 16, ConvSpec::new(1, 1)));
+    net.push(Relu::new());
+    net.push(MaxPool::new(PoolSpec::new(2)));
+    net.push(Flatten::new());
+    net.push(Linear::new(&mut rng, 16 * (h / 2) * (w / 2), classes));
+    net
+}
+
+/// Spatial input sizes seen by each conv layer of [`mobile_cnn`].
+pub fn mobile_cnn_conv_inputs(h: usize, w: usize) -> Vec<(usize, usize)> {
+    vec![(h, w), (h, w), (h, w)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,7 +257,18 @@ mod tests {
     }
 
     #[test]
+    fn mobile_cnn_output_shape() {
+        let mut net = mobile_cnn(1, 8, 8, 5, 0);
+        let y = net.forward(&Tensor::zeros(&[2, 1, 8, 8]));
+        assert_eq!(y.shape().dims(), &[2, 5]);
+    }
+
+    #[test]
     fn conv_input_lists_match_conv_layer_counts() {
+        assert_eq!(
+            mobile_cnn(1, 8, 8, 5, 0).conv_layers_mut().count(),
+            mobile_cnn_conv_inputs(8, 8).len()
+        );
         assert_eq!(
             lenet5(10, 0).conv_layers_mut().count(),
             lenet5_conv_inputs().len()

@@ -1,5 +1,6 @@
 //! Sequential network container.
 
+use cscnn_ir::{IrError, ModelIr};
 use cscnn_tensor::Tensor;
 
 use crate::layers::{Conv2d, Layer, Param};
@@ -103,30 +104,69 @@ impl Network {
     /// Iterates over the conv layers (used by the centrosymmetric and
     /// pruning passes).
     pub fn conv_layers_mut(&mut self) -> impl Iterator<Item = &mut Conv2d> {
-        self.layers
-            .iter_mut()
-            // Deref to `dyn Layer` first: calling through the box would hit
-            // the blanket impl on `Box<dyn Layer>` itself.
-            .filter_map(|l| l.as_mut().as_any_mut().downcast_mut::<Conv2d>())
+        self.layers.iter_mut().filter_map(|l| l.as_conv_mut())
     }
 
     /// Iterates over the fully-connected layers (used by the pruning pass).
     pub fn linear_layers_mut(&mut self) -> impl Iterator<Item = &mut crate::layers::Linear> {
-        self.layers.iter_mut().filter_map(|l| {
-            l.as_mut()
-                .as_any_mut()
-                .downcast_mut::<crate::layers::Linear>()
-        })
+        self.layers.iter_mut().filter_map(|l| l.as_linear_mut())
     }
 
-    /// Borrows layer `i` as a trait object (downcast via `as_any_mut` to
-    /// reach concrete types).
+    /// Borrows layer `i` as a trait object (reach concrete types through
+    /// the typed accessors [`Layer::as_conv_mut`] / [`Layer::as_linear_mut`]).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn layer_mut(&mut self, i: usize) -> &mut dyn Layer {
         self.layers[i].as_mut()
+    }
+
+    /// Shared borrow of layer `i` as a trait object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer(&self, i: usize) -> &dyn Layer {
+        self.layers[i].as_ref()
+    }
+
+    /// Lowers this network to typed IR (`Network → Ir`).
+    ///
+    /// Runs a zero-valued probe batch of shape `[1, c, h, w]` through the
+    /// network to observe every layer's input shape, then asks each layer
+    /// to [`Layer::describe`] itself. Nodes are named `L{i}` after their
+    /// layer index so lowering errors and simulator reports can point back
+    /// to the offending layer.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::UnsupportedLayer`] naming the offending layer when a
+    /// layer rejects its observed input shape.
+    pub fn to_ir(
+        &mut self,
+        name: &str,
+        input_chw: (usize, usize, usize),
+    ) -> Result<ModelIr, IrError> {
+        let (c, h, w) = input_chw;
+        let probe = Tensor::zeros(&[1, c, h, w]);
+        let mut shapes: Vec<Vec<usize>> = Vec::with_capacity(self.layers.len());
+        let _ = self.forward_observed(&probe, |_, _, input| {
+            shapes.push(input.shape().dims().to_vec());
+        });
+        let mut ir = ModelIr::new(name, Vec::new());
+        for (i, shape) in shapes.iter().enumerate() {
+            let node = self
+                .layer(i)
+                .describe(shape)
+                .map_err(|e| IrError::UnsupportedLayer {
+                    layer: format!("L{i}"),
+                    kind: e.kind.to_string(),
+                    reason: e.reason,
+                })?;
+            ir.nodes.push(node.with_name(&format!("L{i}")));
+        }
+        Ok(ir)
     }
 
     /// Layer kind names, in order (useful for debugging and reports).
@@ -163,6 +203,28 @@ mod tests {
         assert_eq!(gi.shape().dims(), &[2, 1, 6, 6]);
         assert_eq!(net.params().len(), 4); // conv w/b + linear w/b
         assert!(net.num_params() > 0);
+    }
+
+    #[test]
+    fn to_ir_names_nodes_by_layer_index() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Network::new();
+        net.push(Conv2d::new(
+            &mut rng,
+            1,
+            4,
+            ConvSpec::new(3, 3).with_padding(1),
+        ));
+        net.push(Relu::new());
+        net.push(Flatten::new());
+        net.push(Linear::new(&mut rng, 4 * 6 * 6, 3));
+        let ir = net.to_ir("tiny", (1, 6, 6)).expect("network lowers to IR");
+        assert_eq!(ir.name, "tiny");
+        assert_eq!(ir.nodes.len(), 4);
+        assert_eq!(ir.nodes[0].name(), Some("L0"));
+        assert_eq!(ir.nodes[3].name(), Some("L3"));
+        assert_eq!(ir.num_weight_nodes(), 2);
+        assert_eq!(ir.nodes[1].kind_label(), "activation");
     }
 
     #[test]

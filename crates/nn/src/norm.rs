@@ -1,5 +1,6 @@
 //! Batch normalization and average-pooling layers.
 
+use cscnn_ir::{DescribeError, LayerNode, PoolKind};
 use cscnn_tensor::{avg_pool2d, avg_pool2d_backward, PoolSpec, Tensor};
 
 use crate::layers::{Layer, Param};
@@ -165,6 +166,23 @@ impl Layer for BatchNorm2d {
     fn name(&self) -> &'static str {
         "batchnorm2d"
     }
+
+    fn describe(&self, input: &[usize]) -> Result<LayerNode, DescribeError> {
+        let channels = self.gamma.value.len();
+        if input.len() != 4 {
+            return Err(DescribeError::new(
+                "batchnorm2d",
+                format!("expected rank-4 [N,C,H,W] input, got rank {}", input.len()),
+            ));
+        }
+        if input[1] != channels {
+            return Err(DescribeError::new(
+                "batchnorm2d",
+                format!("input has {} channels, layer expects {channels}", input[1]),
+            ));
+        }
+        Ok(LayerNode::Norm { channels })
+    }
 }
 
 /// Average-pooling layer.
@@ -199,6 +217,20 @@ impl Layer for AvgPool {
 
     fn name(&self) -> &'static str {
         "avgpool"
+    }
+
+    fn describe(&self, input: &[usize]) -> Result<LayerNode, DescribeError> {
+        if input.len() != 4 {
+            return Err(DescribeError::new(
+                "avgpool",
+                format!("expected rank-4 [N,C,H,W] input, got rank {}", input.len()),
+            ));
+        }
+        Ok(LayerNode::Pool {
+            kind: PoolKind::Avg,
+            window: self.spec.window,
+            stride: self.spec.stride,
+        })
     }
 }
 

@@ -10,6 +10,7 @@
 //! absolute weight values), mirroring Deep Compression's per-layer
 //! sensitivity-derived rates.
 
+use cscnn_ir::IrError;
 use cscnn_tensor::Tensor;
 
 use crate::layers::{Conv2d, Linear};
@@ -91,7 +92,40 @@ pub fn prune_linear(linear: &mut Linear, keep: f64) -> f64 {
 
 /// Prunes the whole network per [`PruneConfig`]. Returns the overall kept
 /// fraction of prunable weights.
-pub fn prune_network(net: &mut Network, config: &PruneConfig) -> f64 {
+///
+/// # Errors
+///
+/// [`IrError::NonFiniteWeights`] naming the offending layer (`L{i}` by
+/// network index) when a prunable layer's weights contain NaN/infinite
+/// values — a magnitude threshold over such weights is meaningless.
+pub fn prune_network(net: &mut Network, config: &PruneConfig) -> Result<f64, IrError> {
+    for i in 0..net.len() {
+        let layer = net.layer_mut(i);
+        let (kind, finite) = if let Some(conv) = layer.as_conv_mut() {
+            (
+                "conv2d",
+                conv.weight().value.as_slice().iter().all(|x| x.is_finite()),
+            )
+        } else if let Some(linear) = layer.as_linear_mut() {
+            (
+                "linear",
+                linear
+                    .weight()
+                    .value
+                    .as_slice()
+                    .iter()
+                    .all(|x| x.is_finite()),
+            )
+        } else {
+            continue;
+        };
+        if !finite {
+            return Err(IrError::NonFiniteWeights {
+                layer: format!("L{i}"),
+                kind: kind.to_string(),
+            });
+        }
+    }
     let mut kept = 0.0f64;
     let mut total = 0.0f64;
     for conv in net.conv_layers_mut() {
@@ -104,11 +138,7 @@ pub fn prune_network(net: &mut Network, config: &PruneConfig) -> f64 {
         kept += prune_linear(linear, config.fc_keep) * n;
         total += n;
     }
-    if total == 0.0 {
-        1.0
-    } else {
-        kept / total
-    }
+    Ok(if total == 0.0 { 1.0 } else { kept / total })
 }
 
 /// Gradual pruning schedule: linearly interpolates the keep fraction from
@@ -166,11 +196,16 @@ impl GradualPruner {
     /// pruning event (given the 0-based round index) and is expected to
     /// train the network for a few epochs. Returns the per-round kept
     /// fractions (overall, conv+fc weighted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IrError::NonFiniteWeights`] from [`prune_network`] —
+    /// retraining can blow weights up to NaN between rounds.
     pub fn run(
         &self,
         net: &mut crate::Network,
         mut retrain: impl FnMut(&mut crate::Network, usize),
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, IrError> {
         let steps = self.conv.steps.max(self.fc.steps);
         let mut history = Vec::with_capacity(steps);
         for round in 0..steps {
@@ -180,11 +215,11 @@ impl GradualPruner {
                     conv_keep: self.conv.keep_at(round),
                     fc_keep: self.fc.keep_at(round),
                 },
-            );
+            )?;
             retrain(net, round);
             history.push(kept);
         }
-        history
+        Ok(history)
     }
 }
 
@@ -284,6 +319,18 @@ mod tests {
     }
 
     #[test]
+    fn prune_network_rejects_non_finite_weights() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut net = Network::new();
+        net.push(Conv2d::new(&mut rng, 1, 2, ConvSpec::new(3, 3)));
+        let conv = net.layer_mut(0).as_conv_mut().expect("conv layer");
+        conv.weight_mut().value.as_mut_slice()[0] = f32::NAN;
+        let err = prune_network(&mut net, &PruneConfig::default()).expect_err("NaN weight");
+        assert!(matches!(err, IrError::NonFiniteWeights { .. }));
+        assert!(err.to_string().contains("L0"));
+    }
+
+    #[test]
     fn gradual_pruner_converges_to_targets() {
         use crate::datasets::SyntheticImages;
         use crate::models;
@@ -304,15 +351,17 @@ mod tests {
             3,
         );
         let mut rounds_seen = 0;
-        let history = pruner.run(&mut net, |net, round| {
-            assert_eq!(round, rounds_seen);
-            rounds_seen += 1;
-            let quick = Trainer::new(TrainConfig {
-                epochs: 1,
-                ..Default::default()
-            });
-            let _ = quick.fit(net, &train, &test);
-        });
+        let history = pruner
+            .run(&mut net, |net, round| {
+                assert_eq!(round, rounds_seen);
+                rounds_seen += 1;
+                let quick = Trainer::new(TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                });
+                let _ = quick.fit(net, &train, &test);
+            })
+            .expect("finite weights");
         assert_eq!(history.len(), 3);
         // Kept fractions decrease round over round toward the target.
         assert!(history[0] > history[2]);

@@ -27,6 +27,17 @@ pub enum SimError {
         /// Why it is rejected.
         reason: &'static str,
     },
+    /// A suite worker thread panicked while simulating a model.
+    WorkerPanicked {
+        /// The model the panicking worker was simulating.
+        model: String,
+    },
+    /// An IR node reached workload synthesis without a measured
+    /// [`cscnn_ir::SparsityAnnotation`].
+    MissingSparsity {
+        /// The offending layer's name.
+        layer: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +48,16 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidConfig { field, reason } => {
                 write!(f, "invalid config: {field} {reason}")
+            }
+            SimError::WorkerPanicked { model } => {
+                write!(f, "simulation worker for model `{model}` panicked")
+            }
+            SimError::MissingSparsity { layer } => {
+                write!(
+                    f,
+                    "layer `{layer}` has no sparsity annotation; annotate the IR \
+                     before simulating"
+                )
             }
         }
     }

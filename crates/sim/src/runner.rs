@@ -1,9 +1,11 @@
 //! Whole-network and suite simulation driver.
 
+use cscnn_ir::ModelIr;
 use cscnn_models::{ModelCompression, ModelDesc};
 
 use crate::dram::DramConfig;
 use crate::energy::EnergyTable;
+use crate::error::SimError;
 use crate::interface::{Accelerator, LayerContext};
 use crate::report::RunStats;
 use crate::util;
@@ -106,29 +108,95 @@ impl Runner {
         stats
     }
 
+    /// Simulates an annotated typed IR model (`Ir → LayerWorkload`
+    /// lowering). Weight-bearing nodes must carry measured
+    /// [`cscnn_ir::SparsityAnnotation`]s (see
+    /// `cscnn::bridge::simulate_trained`); the other node kinds are
+    /// skipped, exactly as [`Runner::run_model`] never sees them in a
+    /// `ModelDesc`. Workload seeding uses the weight-node ordinal, so an
+    /// IR lowered from a `ModelDesc` simulates bit-identically to the
+    /// original.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingSparsity`] naming the first unannotated
+    /// weight-bearing node.
+    pub fn run_ir(&self, acc: &dyn Accelerator, ir: &ModelIr) -> Result<RunStats, SimError> {
+        let cfg = acc.config();
+        let centro = acc.scheme().uses_centrosymmetric();
+        let mut stats = RunStats {
+            accelerator: acc.name().to_string(),
+            model: ir.name.clone(),
+            ..Default::default()
+        };
+        let mut input_on_chip = false;
+        let mut i = 0usize; // weight-node ordinal == ModelDesc layer index
+        for node in &ir.nodes {
+            let seed = self.seed ^ (util::to_count(i) << 20) ^ model_hash(&ir.name);
+            let Some(wl) = LayerWorkload::from_node(node, centro, seed)? else {
+                continue;
+            };
+            i += 1;
+            let out_bytes = util::to_index(wl.layer.output_activations()) * cfg.word_bits / 8;
+            let output_fits = out_bytes <= cfg.glb_bytes;
+            let ctx = LayerContext {
+                cfg: &cfg,
+                dram: &self.dram,
+                energy: &self.energy,
+                workload: &wl,
+                input_on_chip,
+                output_fits_on_chip: output_fits,
+            };
+            stats.layers.push(acc.simulate_layer(&ctx));
+            input_on_chip = output_fits;
+        }
+        Ok(stats)
+    }
+
     /// Simulates every (accelerator, model) pair, parallelized across
     /// models with OS threads. Results are ordered `[model][accelerator]`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WorkerPanicked`] naming the first model whose worker
+    /// thread panicked. Every worker is joined before returning, so one
+    /// poisoned model cannot abort the others mid-simulation.
     pub fn run_suite(
         &self,
         accelerators: &[Box<dyn Accelerator>],
         models: &[ModelDesc],
-    ) -> Vec<Vec<RunStats>> {
+    ) -> Result<Vec<Vec<RunStats>>, SimError> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = models
                 .iter()
                 .map(|model| {
-                    scope.spawn(move || {
+                    let handle = scope.spawn(move || {
                         accelerators
                             .iter()
                             .map(|acc| self.run_model(acc.as_ref(), model))
                             .collect::<Vec<_>>()
-                    })
+                    });
+                    (model, handle)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("simulation thread panicked"))
-                .collect()
+            // Join *every* handle (an unjoined panicked handle would
+            // re-panic at scope exit), remembering the first failure.
+            let mut results = Vec::with_capacity(models.len());
+            let mut first_panic: Option<SimError> = None;
+            for (model, handle) in handles {
+                match handle.join() {
+                    Ok(row) => results.push(row),
+                    Err(_) => {
+                        first_panic.get_or_insert(SimError::WorkerPanicked {
+                            model: model.name.clone(),
+                        });
+                    }
+                }
+            }
+            match first_panic {
+                Some(err) => Err(err),
+                None => Ok(results),
+            }
         })
     }
 }
@@ -174,7 +242,7 @@ mod tests {
         let runner = Runner::new(9);
         let accs = baselines::evaluation_accelerators();
         let models = vec![catalog::lenet5(), catalog::convnet()];
-        let parallel = runner.run_suite(&accs, &models);
+        let parallel = runner.run_suite(&accs, &models).expect("no worker panics");
         for (mi, model) in models.iter().enumerate() {
             for (ai, acc) in accs.iter().enumerate() {
                 let seq = runner.run_model(acc.as_ref(), model);
@@ -182,6 +250,76 @@ mod tests {
                 assert_eq!(seq.total_on_chip_pj(), parallel[mi][ai].total_on_chip_pj());
             }
         }
+    }
+
+    #[test]
+    fn run_ir_matches_run_model_bit_for_bit() {
+        use cscnn_ir::SparsityAnnotation;
+        // Annotate the lowered IR with exactly the densities the
+        // ModelDesc path calibrates, then both paths must agree.
+        let model = catalog::lenet5();
+        let acc = CartesianAccelerator::cscnn();
+        let mc = cscnn_models::ModelCompression::new(model.clone(), acc.scheme());
+        let mut ir = cscnn_models::lower::to_ir(&model);
+        for (i, node) in ir.weight_nodes_mut().enumerate() {
+            node.set_sparsity(SparsityAnnotation {
+                weight_density: mc.profile.weight_density[i],
+                activation_density: mc.profile.activation_density[i],
+            });
+        }
+        let runner = Runner::new(42);
+        let from_desc = runner.run_model(&acc, &model);
+        let from_ir = runner.run_ir(&acc, &ir).expect("annotated IR simulates");
+        assert_eq!(from_desc.layers.len(), from_ir.layers.len());
+        assert_eq!(from_desc.total_cycles(), from_ir.total_cycles());
+        assert_eq!(from_desc.total_on_chip_pj(), from_ir.total_on_chip_pj());
+        assert_eq!(from_desc.model, from_ir.model);
+    }
+
+    #[test]
+    fn run_ir_reports_missing_annotations() {
+        let ir = cscnn_models::lower::to_ir(&catalog::lenet5());
+        let runner = Runner::new(42);
+        let err = runner
+            .run_ir(&CartesianAccelerator::cscnn(), &ir)
+            .expect_err("unannotated IR");
+        assert!(matches!(err, SimError::MissingSparsity { .. }));
+    }
+
+    #[test]
+    fn suite_surfaces_worker_panics_as_typed_errors() {
+        use crate::interface::{Characteristics, LayerContext};
+        use crate::report::LayerStats;
+        struct Exploding;
+        impl Accelerator for Exploding {
+            fn name(&self) -> &'static str {
+                "Exploding"
+            }
+            fn scheme(&self) -> cscnn_models::CompressionScheme {
+                cscnn_models::CompressionScheme::Dense
+            }
+            fn characteristics(&self) -> Characteristics {
+                Characteristics {
+                    compression: "-",
+                    sparsity: "-",
+                    dataflow: "-",
+                }
+            }
+            fn simulate_layer(&self, _ctx: &LayerContext<'_>) -> LayerStats {
+                panic!("injected fault")
+            }
+        }
+        let runner = Runner::new(4);
+        let accs: Vec<Box<dyn Accelerator>> = vec![Box::new(Exploding)];
+        let models = vec![catalog::lenet5()];
+        let err = runner.run_suite(&accs, &models).expect_err("worker panics");
+        assert_eq!(
+            err,
+            SimError::WorkerPanicked {
+                model: "LeNet-5".into()
+            }
+        );
+        assert!(err.to_string().contains("LeNet-5"));
     }
 
     #[test]
@@ -206,7 +344,7 @@ mod tests {
         let runner = Runner::new(3);
         let accs = baselines::evaluation_accelerators();
         let models = vec![catalog::lenet5(), catalog::convnet()];
-        let results = runner.run_suite(&accs, &models);
+        let results = runner.run_suite(&accs, &models).expect("no worker panics");
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].len(), accs.len());
         assert_eq!(results[0][0].accelerator, "DCNN");

@@ -84,6 +84,40 @@ impl LayerWorkload {
         }
     }
 
+    /// Lowers a typed IR node to a workload (`Ir → LayerWorkload`).
+    ///
+    /// Returns `Ok(None)` for nodes the simulator does not time (pool,
+    /// activation, flatten, norm, dropout). Weight-bearing nodes must carry
+    /// a measured [`cscnn_ir::SparsityAnnotation`]; geometry is lowered via
+    /// [`cscnn_models::lower::layer_desc`] so IR- and `ModelDesc`-driven
+    /// simulation stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingSparsity`] naming the layer when a weight-bearing
+    /// node has no annotation.
+    pub fn from_node(
+        node: &cscnn_ir::LayerNode,
+        centro: bool,
+        seed: u64,
+    ) -> Result<Option<Self>, crate::SimError> {
+        let Some(desc) = cscnn_models::lower::layer_desc(node) else {
+            return Ok(None);
+        };
+        let Some(ann) = node.sparsity() else {
+            return Err(crate::SimError::MissingSparsity {
+                layer: node.name().unwrap_or("<unnamed>").to_string(),
+            });
+        };
+        Ok(Some(Self::synthesize(
+            &desc,
+            ann.weight_density,
+            ann.activation_density,
+            centro,
+            seed,
+        )))
+    }
+
     /// Input channels per convolution group.
     pub fn c_per_group(&self) -> usize {
         self.layer.c / self.layer.groups
@@ -240,6 +274,29 @@ mod tests {
             / 64.0;
         assert!((mean - 98.0).abs() < 10.0, "mean={mean}");
         let _ = other;
+    }
+
+    #[test]
+    fn from_node_matches_synthesize_and_demands_annotations() {
+        use cscnn_ir::{LayerNode, SparsityAnnotation};
+        let mut node = LayerNode::conv("c", 64, 128, 3, 3, 28, 28, 1, 1);
+        // Weight-bearing but unannotated → typed error naming the layer.
+        let err = LayerWorkload::from_node(&node, true, 1).expect_err("no annotation");
+        assert!(err.to_string().contains('c'));
+        node.set_sparsity(SparsityAnnotation {
+            weight_density: 0.4,
+            activation_density: 0.5,
+        });
+        let from_ir = LayerWorkload::from_node(&node, true, 1)
+            .expect("annotated")
+            .expect("weight-bearing");
+        let direct = LayerWorkload::synthesize(&conv_layer(), 0.4, 0.5, true, 1);
+        assert_eq!(from_ir.total_weight_nnz(), direct.total_weight_nnz());
+        assert_eq!(from_ir.stored_per_slice, direct.stored_per_slice);
+        // Non-weight nodes lower to nothing.
+        assert!(LayerWorkload::from_node(&LayerNode::Flatten, true, 1)
+            .expect("flatten is fine")
+            .is_none());
     }
 
     #[test]

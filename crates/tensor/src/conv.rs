@@ -269,6 +269,144 @@ pub fn conv2d_backward(
     }
 }
 
+/// Copies `count` channels starting at `start` out of a `[N, C, H, W]`
+/// tensor into a dense `[N, count, H, W]` tensor.
+fn take_channels(t: &Tensor, start: usize, count: usize) -> Tensor {
+    let (n, c, h, w) = dims4(t, "take_channels");
+    assert!(start + count <= c, "channel slice out of range");
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[n, count, h, w]);
+    let src = t.as_slice();
+    let dst = out.as_mut_slice();
+    for ni in 0..n {
+        let s0 = (ni * c + start) * plane;
+        let d0 = ni * count * plane;
+        dst[d0..d0 + count * plane].copy_from_slice(&src[s0..s0 + count * plane]);
+    }
+    out
+}
+
+/// Writes a `[N, count, H, W]` tensor into the channel window starting at
+/// `start` of a `[N, C, H, W]` tensor (plain copy — groups are disjoint).
+fn put_channels(dst_t: &mut Tensor, src_t: &Tensor, start: usize) {
+    let (n, c, h, w) = dims4(dst_t, "put_channels dst");
+    let (sn, count, sh, sw) = dims4(src_t, "put_channels src");
+    assert!(sn == n && sh == h && sw == w, "spatial/batch mismatch");
+    assert!(start + count <= c, "channel slice out of range");
+    let plane = h * w;
+    let src = src_t.as_slice();
+    let dst = dst_t.as_mut_slice();
+    for ni in 0..n {
+        let d0 = (ni * c + start) * plane;
+        let s0 = ni * count * plane;
+        dst[d0..d0 + count * plane].copy_from_slice(&src[s0..s0 + count * plane]);
+    }
+}
+
+/// Forward grouped 2-D convolution (`groups == C` is depthwise).
+///
+/// `input` is `[N, C, H, W]`, `weight` is `[K, C/groups, R, S]`, `bias` is
+/// `[K]`; returns `[N, K, H', W']`. With `groups == 1` this is exactly
+/// [`conv2d`]. Filters `K/groups·g .. K/groups·(g+1)` see only input
+/// channels `C/groups·g .. C/groups·(g+1)`.
+///
+/// # Panics
+///
+/// Panics if any shape is inconsistent with `spec` or `groups` does not
+/// divide the channel counts.
+pub fn conv2d_grouped(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &ConvSpec,
+    groups: usize,
+) -> Tensor {
+    assert!(groups > 0, "groups must be positive");
+    if groups == 1 {
+        return conv2d(input, weight, bias, spec);
+    }
+    let (n, c, h, w) = dims4(input, "conv2d_grouped input");
+    let (k, wc, wr, ws) = dims4(weight, "conv2d_grouped weight");
+    assert!(
+        c % groups == 0 && k % groups == 0,
+        "groups={groups} must divide C={c} and K={k}"
+    );
+    let cg = c / groups;
+    let kg = k / groups;
+    assert_eq!(wc, cg, "weight C={wc} must be C/groups={cg}");
+    assert_eq!(bias.len(), k, "bias length must equal K={k}");
+    let (oh, ow) = spec.output_dim(h, w);
+    let mut out = Tensor::zeros(&[n, k, oh, ow]);
+    let slab = kg * cg * wr * ws;
+    for g in 0..groups {
+        let gi = take_channels(input, g * cg, cg);
+        // Filters of one group are a contiguous [kg, cg, R, S] slab.
+        let gw = Tensor::from_vec(
+            weight.as_slice()[g * slab..(g + 1) * slab].to_vec(),
+            &[kg, cg, wr, ws],
+        );
+        let gb = Tensor::from_vec(bias.as_slice()[g * kg..(g + 1) * kg].to_vec(), &[kg]);
+        let go = conv2d(&gi, &gw, &gb, spec);
+        put_channels(&mut out, &go, g * kg);
+    }
+    out
+}
+
+/// Backward grouped 2-D convolution: gradients w.r.t. input, weight and
+/// bias. With `groups == 1` this is exactly [`conv2d_backward`].
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn conv2d_grouped_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &ConvSpec,
+    groups: usize,
+) -> Conv2dGrads {
+    assert!(groups > 0, "groups must be positive");
+    if groups == 1 {
+        return conv2d_backward(input, weight, grad_out, spec);
+    }
+    let (n, c, h, w) = dims4(input, "conv2d_grouped_backward input");
+    let (k, wc, wr, ws) = dims4(weight, "conv2d_grouped_backward weight");
+    assert!(
+        c % groups == 0 && k % groups == 0,
+        "groups={groups} must divide C={c} and K={k}"
+    );
+    let cg = c / groups;
+    let kg = k / groups;
+    assert_eq!(wc, cg, "weight C={wc} must be C/groups={cg}");
+    let (oh, ow) = spec.output_dim(h, w);
+    assert_eq!(
+        grad_out.shape().dims(),
+        &[n, k, oh, ow],
+        "grad_out shape mismatch"
+    );
+    let mut d_input = Tensor::zeros(&[n, c, h, w]);
+    let mut d_weight = Tensor::zeros(&[k, cg, wr, ws]);
+    let mut d_bias = Tensor::zeros(&[k]);
+    let slab = kg * cg * wr * ws;
+    for g in 0..groups {
+        let gi = take_channels(input, g * cg, cg);
+        let gw = Tensor::from_vec(
+            weight.as_slice()[g * slab..(g + 1) * slab].to_vec(),
+            &[kg, cg, wr, ws],
+        );
+        let ggo = take_channels(grad_out, g * kg, kg);
+        let grads = conv2d_backward(&gi, &gw, &ggo, spec);
+        put_channels(&mut d_input, &grads.input, g * cg);
+        d_weight.as_mut_slice()[g * slab..(g + 1) * slab].copy_from_slice(grads.weight.as_slice());
+        d_bias.as_mut_slice()[g * kg..(g + 1) * kg].copy_from_slice(grads.bias.as_slice());
+    }
+    Conv2dGrads {
+        input: d_input,
+        weight: d_weight,
+        bias: d_bias,
+    }
+}
+
 fn dims4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {
     assert_eq!(
         t.shape().rank(),
@@ -389,6 +527,121 @@ mod tests {
     fn output_dim_math() {
         let spec = ConvSpec::new(11, 11).with_stride(4).with_padding(2);
         assert_eq!(spec.output_dim(224, 224), (55, 55));
+    }
+
+    /// Expands a grouped `[K, C/g, R, S]` weight to the block-diagonal
+    /// dense `[K, C, R, S]` equivalent.
+    fn expand_grouped_weight(weight: &Tensor, c: usize, groups: usize) -> Tensor {
+        let wd = weight.shape().dims();
+        let (k, cg, r, s) = (wd[0], wd[1], wd[2], wd[3]);
+        assert_eq!(cg, c / groups);
+        let kg = k / groups;
+        let mut dense = Tensor::zeros(&[k, c, r, s]);
+        for ki in 0..k {
+            let g = ki / kg;
+            for ci in 0..cg {
+                for ri in 0..r {
+                    for si in 0..s {
+                        dense.set(&[ki, g * cg + ci, ri, si], weight.at(&[ki, ci, ri, si]));
+                    }
+                }
+            }
+        }
+        dense
+    }
+
+    #[test]
+    fn grouped_forward_matches_block_diagonal_dense() {
+        for &(c, k, groups, stride, padding) in &[
+            (4usize, 6usize, 2usize, 1usize, 1usize),
+            (6, 6, 6, 1, 1),
+            (4, 4, 4, 2, 1),
+        ] {
+            let spec = ConvSpec::new(3, 3)
+                .with_stride(stride)
+                .with_padding(padding);
+            let input = seq(&[2, c, 6, 6], 0.19);
+            let weight = seq(&[k, c / groups, 3, 3], 0.37);
+            let bias = seq(&[k], 0.61);
+            let got = conv2d_grouped(&input, &weight, &bias, &spec, groups);
+            let dense = expand_grouped_weight(&weight, c, groups);
+            let want = conv2d(&input, &dense, &bias, &spec);
+            assert_eq!(got.shape(), want.shape());
+            for (g, v) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((g - v).abs() < 1e-4, "c={c} k={k} groups={groups}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_backward_matches_block_diagonal_dense() {
+        let (c, k, groups) = (6usize, 6usize, 3usize);
+        let spec = ConvSpec::new(3, 3).with_padding(1);
+        let input = seq(&[2, c, 5, 5], 0.23);
+        let weight = seq(&[k, c / groups, 3, 3], 0.41);
+        let bias = seq(&[k], 0.3);
+        let out = conv2d_grouped(&input, &weight, &bias, &spec, groups);
+        let go = Tensor::from_fn(out.shape().dims(), |i| ((i as f32) * 0.11).cos());
+        let grads = conv2d_grouped_backward(&input, &weight, &go, &spec, groups);
+
+        let dense = expand_grouped_weight(&weight, c, groups);
+        let dense_grads = conv2d_backward(&input, &dense, &go, &spec);
+        for (g, v) in grads
+            .input
+            .as_slice()
+            .iter()
+            .zip(dense_grads.input.as_slice())
+        {
+            assert!((g - v).abs() < 1e-4);
+        }
+        for (g, v) in grads
+            .bias
+            .as_slice()
+            .iter()
+            .zip(dense_grads.bias.as_slice())
+        {
+            assert!((g - v).abs() < 1e-3);
+        }
+        // The grouped weight gradient equals the dense gradient at the
+        // block-diagonal positions.
+        let cg = c / groups;
+        let kg = k / groups;
+        for ki in 0..k {
+            let g = ki / kg;
+            for ci in 0..cg {
+                for ri in 0..3 {
+                    for si in 0..3 {
+                        let a = grads.weight.at(&[ki, ci, ri, si]);
+                        let b = dense_grads.weight.at(&[ki, g * cg + ci, ri, si]);
+                        assert!((a - b).abs() < 1e-3, "weight[{ki},{ci},{ri},{si}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_with_one_group_is_dense_conv() {
+        let spec = ConvSpec::new(3, 3).with_padding(1);
+        let input = seq(&[1, 3, 5, 5], 0.17);
+        let weight = seq(&[4, 3, 3, 3], 0.29);
+        let bias = seq(&[4], 0.5);
+        let a = conv2d_grouped(&input, &weight, &bias, &spec, 1);
+        let b = conv2d(&input, &weight, &bias, &spec);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn grouped_rejects_indivisible_channels() {
+        let spec = ConvSpec::new(3, 3);
+        let _ = conv2d_grouped(
+            &Tensor::zeros(&[1, 5, 5, 5]),
+            &Tensor::zeros(&[4, 2, 3, 3]),
+            &Tensor::zeros(&[4]),
+            &spec,
+            2,
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ mod shape;
 mod tensor;
 mod winograd;
 
-pub use conv::{conv2d, conv2d_backward, Conv2dGrads, ConvSpec};
+pub use conv::{
+    conv2d, conv2d_backward, conv2d_grouped, conv2d_grouped_backward, Conv2dGrads, ConvSpec,
+};
 pub use init::{kaiming_uniform, uniform, xavier_uniform};
 pub use matmul::{matmul, matmul_at, matmul_bt};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};

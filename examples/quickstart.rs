@@ -22,8 +22,9 @@ fn main() {
         lr: 0.05,
         ..Default::default()
     };
-    let report =
-        CompressionPipeline::new(config).run(net, &data, &models::tiny_cnn_conv_inputs(16, 16));
+    let report = CompressionPipeline::new(config)
+        .run(net, &data, &models::tiny_cnn_conv_inputs(16, 16))
+        .expect("network lowers");
     println!(
         "      baseline accuracy        : {:5.1} %",
         100.0 * report.baseline_accuracy

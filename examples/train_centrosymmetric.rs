@@ -44,7 +44,7 @@ fn main() {
     }
 
     println!("\n[phase 2] Eq. 5 projection (dual weights -> their mean):");
-    let converted = centrosymmetric::centrosymmetrize(&mut net);
+    let converted = centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
     let dropped = evaluate(&mut net, &test, 32);
     println!("  {converted} conv layers constrained");
     println!(
@@ -70,7 +70,8 @@ fn main() {
         "Eq. 2 must survive retraining"
     );
 
-    let mults = centrosymmetric::count_multiplications(&mut net, &models::lenet5_conv_inputs());
+    let mults = centrosymmetric::count_multiplications(&mut net, &models::lenet5_conv_inputs())
+        .expect("conv inputs cover every conv");
     println!("\nsummary:");
     println!(
         "  baseline       {:5.1} %",

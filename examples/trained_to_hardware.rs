@@ -34,7 +34,7 @@ fn main() {
         "      baseline accuracy {:.1} %",
         100.0 * base.final_test_accuracy
     );
-    centrosymmetric::centrosymmetrize(&mut net);
+    centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
     let _ = trainer.fit(&mut net, &train, &test);
     pruning::prune_network(
         &mut net,
@@ -42,14 +42,15 @@ fn main() {
             conv_keep: 0.5,
             fc_keep: 0.25,
         },
-    );
+    )
+    .expect("finite weights");
     let _ = trainer.fit(&mut net, &train, &test);
     let final_acc = evaluate(&mut net, &test, 32);
     println!("      compressed accuracy {:.1} %\n", 100.0 * final_acc);
 
     // 2) Extract shapes + measured densities.
     println!("[2/4] extracting shapes and measured densities:");
-    let desc = describe_network(&mut net, "ConvNet-S", (3, 16, 16));
+    let desc = describe_network(&mut net, "ConvNet-S", (3, 16, 16)).expect("network lowers");
     let profile = measure_profile(&mut net, &test, 16);
     println!(
         "      {:8} {:>24} {:>12} {:>12}",
@@ -81,10 +82,12 @@ fn main() {
         &baselines::dcnn(),
         7,
     )
+    .expect("network simulates")
     .total_time_s();
     println!("      {:10} {:>12} {:>10}", "accel", "time (us)", "speedup");
     for acc in &accs {
-        let stats = simulate_trained(&mut net, "ConvNet-S", (3, 16, 16), &test, acc.as_ref(), 7);
+        let stats = simulate_trained(&mut net, "ConvNet-S", (3, 16, 16), &test, acc.as_ref(), 7)
+            .expect("network simulates");
         println!(
             "      {:10} {:>12.2} {:>9.2}x",
             stats.accelerator,

@@ -12,7 +12,7 @@ fn trained_projected_filters_round_trip_through_centro_storage() {
     // Project a real network's filters and verify every slice can be stored
     // in half form and expanded losslessly.
     let mut net = models::vgg_s(10, 77);
-    let converted = centrosymmetric::centrosymmetrize(&mut net);
+    let converted = centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
     assert_eq!(converted, 6, "all six vgg_s convs are eligible");
     for conv in net.conv_layers_mut() {
         let dims = conv.weight().value.shape().dims().to_vec();
@@ -50,8 +50,9 @@ fn model_level_reduction_agrees_with_network_level_counting() {
     // and a real projected network's count_multiplications must agree on
     // the centrosymmetric reduction for matching geometry.
     let mut net = models::vgg_s(10, 79);
-    centrosymmetric::centrosymmetrize(&mut net);
-    let counted = centrosymmetric::count_multiplications(&mut net, &models::vgg_s_conv_inputs());
+    centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
+    let counted = centrosymmetric::count_multiplications(&mut net, &models::vgg_s_conv_inputs())
+        .expect("conv inputs cover every conv");
     let ratio = counted.centro_reduction();
     // vgg_s is all 3x3 unit-stride convs + one FC: expect slightly under
     // the pure-conv 1.8.

@@ -32,7 +32,7 @@ fn quantized_centrosymmetric_network_keeps_structure_and_accuracy() {
         ..Default::default()
     });
     let _ = trainer.fit(&mut net, &train, &test);
-    centrosymmetric::centrosymmetrize(&mut net);
+    centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
     let retrained = trainer.fit(&mut net, &train, &test);
     let worst = quantize_network(&mut net);
     assert!(worst < 1e-2, "worst quantization error {worst}");

@@ -26,11 +26,9 @@ fn fast_config() -> TrainConfig {
 fn projection_collapses_and_retraining_recovers() {
     let data = SyntheticImages::generate(1, 8, 8, 4, 60, 0.12, 31);
     let net = models::tiny_cnn(1, 8, 8, 4, 31);
-    let report = CompressionPipeline::new(fast_config()).run(
-        net,
-        &data,
-        &models::tiny_cnn_conv_inputs(8, 8),
-    );
+    let report = CompressionPipeline::new(fast_config())
+        .run(net, &data, &models::tiny_cnn_conv_inputs(8, 8))
+        .expect("network lowers");
     // The dense baseline must genuinely learn the task.
     assert!(
         report.baseline_accuracy > 0.6,
@@ -58,7 +56,8 @@ fn pruning_composes_with_centrosymmetric_filters() {
             conv_keep: 0.5,
             fc_keep: 0.3,
         })
-        .run(net, &data, &models::tiny_cnn_conv_inputs(8, 8));
+        .run(net, &data, &models::tiny_cnn_conv_inputs(8, 8))
+        .expect("network lowers");
     let pruned = report.pruned_accuracy.expect("pruning ran");
     // Pruned-and-retrained accuracy stays within a reasonable band of the
     // retrained model.
@@ -91,7 +90,7 @@ fn centrosymmetric_networks_memorize_random_labels() {
     let x = Tensor::from_fn(&[n, 1, 8, 8], |_| rng.gen_range(-1.0..1.0f32));
     let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3)).collect();
     let mut net = models::tiny_cnn(1, 8, 8, 3, 34);
-    centrosymmetric::centrosymmetrize(&mut net);
+    centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
     let mut opt = Sgd::new(0.9, 0.0);
     let mut final_acc = 0.0;
     for _ in 0..300 {
@@ -127,7 +126,7 @@ fn lenet_projection_drop_mirrors_paper_anecdote() {
     });
     let base = trainer.fit(&mut net, &train, &test);
     assert!(base.final_test_accuracy > 0.5, "LeNet proxy must learn");
-    let converted = centrosymmetric::centrosymmetrize(&mut net);
+    let converted = centrosymmetric::centrosymmetrize(&mut net).expect("finite weights");
     assert_eq!(converted, 2, "both LeNet conv layers are eligible");
     assert!(centrosymmetric::check_invariant(&mut net, 1e-6));
     let dropped = cscnn::nn::trainer::evaluate(&mut net, &test, 16);

@@ -115,8 +115,8 @@ fn mixed_tiling_beats_planar_on_every_fig11_network() {
 #[test]
 fn evaluation_suite_runs_end_to_end_and_is_deterministic() {
     let models = [catalog::lenet5(), catalog::convnet()];
-    let a = evaluate_hardware(&models, 104);
-    let b = evaluate_hardware(&models, 104);
+    let a = evaluate_hardware(&models, 104).expect("no worker panics");
+    let b = evaluate_hardware(&models, 104).expect("no worker panics");
     assert_eq!(a.len(), 9);
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.accelerator, y.accelerator);
