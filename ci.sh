@@ -1,8 +1,8 @@
 #!/bin/sh
 # CI gate for the CSCNN reproduction. Mirrors the verify ritual described
 # in README.md: format check (when rustfmt is installed), the workspace
-# invariant linter (docs/static_analysis.md), release build, test suite.
-# Fails fast on the first broken stage.
+# invariant linter (docs/static_analysis.md), release build, test suite,
+# and a warning-free rustdoc build. Fails fast on the first broken stage.
 set -eu
 
 cd "$(dirname "$0")"
@@ -22,5 +22,8 @@ cargo build --workspace --release
 
 echo "== cargo test"
 cargo test --workspace -q
+
+echo "== cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "== ci.sh: all stages passed"

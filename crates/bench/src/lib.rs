@@ -6,6 +6,11 @@
 //! paper (see DESIGN.md §4 for the index); this library holds the plumbing
 //! they share: paper-reported reference numbers, table formatting, and the
 //! standard evaluation run.
+//!
+//! The harnesses sit at the *top* of the workspace's lowering chain,
+//! driving it end to end: catalog `ModelDesc` → `ModelIr` →
+//! `LayerWorkload` → simulation → formatted table, all from the single
+//! [`SEED`].
 
 pub mod paper;
 pub mod table;

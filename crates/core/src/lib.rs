@@ -11,11 +11,17 @@
 //! | Re-export | Contents |
 //! |---|---|
 //! | [`tensor`] | N-d `f32` tensors, conv/pool/matmul kernels with backward passes |
-//! | [`ir`] | The typed model IR every layer representation lowers through |
+//! | [`ir`] | The typed model IR every layer representation lowers through, plus its on-disk JSON artifact schema |
+//! | [`json`] | The std-only JSON layer the IR artifacts and report exports serialize through |
 //! | [`nn`] | Layers, SGD training, centrosymmetric constraint, pruning, synthetic datasets |
 //! | [`sparse`] | Zero-run-length encodings, centrosymmetric filter storage |
 //! | [`models`] | Shape catalogs of the benchmark CNNs + compression math |
 //! | [`sim`] | The accelerator simulator, baselines, energy/area/DRAM models |
+//!
+//! The facade is also where the lowering chain closes: the bridge
+//! functions ([`annotated_ir`], [`describe_network`], [`simulate_trained`])
+//! carry a trained `nn` network through `ir` into `sim`, the same
+//! `ModelDesc → ModelIr → LayerWorkload` path the catalog models take.
 //!
 //! Plus the high-level [`CompressionPipeline`] that performs the paper's
 //! algorithm-side flow end-to-end — train → project (Eq. 5) → retrain
@@ -37,6 +43,7 @@
 //! ```
 
 pub use cscnn_ir as ir;
+pub use cscnn_json as json;
 pub use cscnn_models as models;
 pub use cscnn_nn as nn;
 pub use cscnn_sim as sim;

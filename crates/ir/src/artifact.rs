@@ -1,0 +1,639 @@
+//! On-disk JSON artifacts for annotated [`ModelIr`]s.
+//!
+//! A trained + annotated model travels to the simulator as a single JSON
+//! document (the paper's "PyTorch extract" file, typed — see
+//! `docs/batching.md` for the field-by-field schema):
+//!
+//! ```json
+//! {
+//!   "format": "cscnn-ir",
+//!   "version": 1,
+//!   "name": "LeNet-5",
+//!   "nodes": [
+//!     {"kind": "conv", "name": "C1", "c": 1, "k": 6, "r": 5, "s": 5,
+//!      "h": 28, "w": 28, "stride": 1, "padding": 2, "groups": 1,
+//!      "centrosymmetric": true,
+//!      "sparsity": {"weight_density": 0.4, "activation_density": 1.0}},
+//!     {"kind": "pool", "pool": "max", "window": 2, "stride": 2},
+//!     {"kind": "fc", "name": "F5", "inputs": 400, "outputs": 120,
+//!      "sparsity": null}
+//!   ]
+//! }
+//! ```
+//!
+//! Serialization ([`ModelIr::to_json_string`] / [`ModelIr::to_json_pretty`])
+//! cannot fail; parsing ([`ModelIr::from_json_str`]) is strict and returns
+//! an [`ArtifactError`] naming the offending node and field, so a bad
+//! artifact in a directory of thousands is actionable. A parsed artifact is
+//! always *valid* IR: geometry extents are non-zero, groups divide
+//! channels, depthwise nodes satisfy `groups == c == k`, and densities lie
+//! in `[0, 1]`.
+
+use std::fmt;
+
+use cscnn_json::Value;
+
+use crate::{ActivationKind, ConvGeom, LayerNode, ModelIr, PoolKind, SparsityAnnotation};
+
+/// The artifact schema version this crate reads and writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The `format` tag every artifact carries.
+pub const SCHEMA_FORMAT: &str = "cscnn-ir";
+
+/// Why a JSON artifact could not be read back as a [`ModelIr`]. Node-level
+/// variants name the offending node (by index, and by layer name when one
+/// was parsed) and the offending field, so errors deep in a large artifact
+/// are actionable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The document is not well-formed JSON.
+    Syntax(cscnn_json::Error),
+    /// A top-level field is missing, mistyped, or unsupported.
+    Document {
+        /// The offending top-level field (`"format"`, `"version"`, …).
+        field: &'static str,
+        /// Why it is rejected.
+        reason: String,
+    },
+    /// A node entry is missing a field, carries a mistyped field, or fails
+    /// validation.
+    Node {
+        /// Index of the offending node in `nodes` (execution order).
+        index: usize,
+        /// The node's layer name, when one was parsed before the failure.
+        layer: Option<String>,
+        /// The offending field (`"kind"`, `"geom.groups"`, …).
+        field: &'static str,
+        /// Why it is rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Syntax(e) => write!(f, "malformed JSON: {e}"),
+            ArtifactError::Document { field, reason } => {
+                write!(f, "artifact field `{field}`: {reason}")
+            }
+            ArtifactError::Node {
+                index,
+                layer,
+                field,
+                reason,
+            } => match layer {
+                Some(name) => {
+                    write!(f, "node {index} (`{name}`), field `{field}`: {reason}")
+                }
+                None => write!(f, "node {index}, field `{field}`: {reason}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<cscnn_json::Error> for ArtifactError {
+    fn from(e: cscnn_json::Error) -> Self {
+        ArtifactError::Syntax(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+impl cscnn_json::ToJson for SparsityAnnotation {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("weight_density".into(), Value::F64(self.weight_density)),
+            (
+                "activation_density".into(),
+                Value::F64(self.activation_density),
+            ),
+        ])
+    }
+}
+
+fn geom_fields(geom: &ConvGeom, out: &mut Vec<(String, Value)>) {
+    for (key, value) in [
+        ("c", geom.c),
+        ("k", geom.k),
+        ("r", geom.r),
+        ("s", geom.s),
+        ("h", geom.h),
+        ("w", geom.w),
+        ("stride", geom.stride),
+        ("padding", geom.padding),
+        ("groups", geom.groups),
+    ] {
+        out.push((key.into(), Value::U64(value as u64)));
+    }
+}
+
+impl cscnn_json::ToJson for LayerNode {
+    fn to_json(&self) -> Value {
+        let mut obj: Vec<(String, Value)> = Vec::new();
+        let kind = |obj: &mut Vec<(String, Value)>, k: &str| {
+            obj.push(("kind".into(), Value::Str(k.into())));
+        };
+        match self {
+            LayerNode::Conv {
+                name,
+                geom,
+                centrosymmetric,
+                sparsity,
+            }
+            | LayerNode::Depthwise {
+                name,
+                geom,
+                centrosymmetric,
+                sparsity,
+            } => {
+                kind(
+                    &mut obj,
+                    if matches!(self, LayerNode::Conv { .. }) {
+                        "conv"
+                    } else {
+                        "depthwise"
+                    },
+                );
+                obj.push(("name".into(), Value::Str(name.clone())));
+                geom_fields(geom, &mut obj);
+                obj.push(("centrosymmetric".into(), Value::Bool(*centrosymmetric)));
+                obj.push(("sparsity".into(), sparsity.to_json()));
+            }
+            LayerNode::FullyConnected {
+                name,
+                inputs,
+                outputs,
+                sparsity,
+            } => {
+                kind(&mut obj, "fc");
+                obj.push(("name".into(), Value::Str(name.clone())));
+                obj.push(("inputs".into(), Value::U64(*inputs as u64)));
+                obj.push(("outputs".into(), Value::U64(*outputs as u64)));
+                obj.push(("sparsity".into(), sparsity.to_json()));
+            }
+            LayerNode::Pool {
+                kind: pool,
+                window,
+                stride,
+            } => {
+                kind(&mut obj, "pool");
+                let label = match pool {
+                    PoolKind::Max => "max",
+                    PoolKind::Avg => "avg",
+                };
+                obj.push(("pool".into(), Value::Str(label.into())));
+                obj.push(("window".into(), Value::U64(*window as u64)));
+                obj.push(("stride".into(), Value::U64(*stride as u64)));
+            }
+            LayerNode::Activation { kind: act } => {
+                kind(&mut obj, "activation");
+                let label = match act {
+                    ActivationKind::Relu => "relu",
+                };
+                obj.push(("activation".into(), Value::Str(label.into())));
+            }
+            LayerNode::Flatten => kind(&mut obj, "flatten"),
+            LayerNode::Norm { channels } => {
+                kind(&mut obj, "norm");
+                obj.push(("channels".into(), Value::U64(*channels as u64)));
+            }
+            LayerNode::Dropout { p } => {
+                kind(&mut obj, "dropout");
+                obj.push(("p".into(), Value::F64(*p)));
+            }
+        }
+        Value::Obj(obj)
+    }
+}
+
+impl cscnn_json::ToJson for ModelIr {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("format".into(), Value::Str(SCHEMA_FORMAT.into())),
+            ("version".into(), Value::U64(SCHEMA_VERSION)),
+            ("name".into(), Value::Str(self.name.clone())),
+            (
+                "nodes".into(),
+                Value::Arr(self.nodes.iter().map(|n| n.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing + validation
+// ---------------------------------------------------------------------------
+
+/// Per-node parse cursor: accumulates the context every error must name.
+struct NodeCx<'a> {
+    index: usize,
+    layer: Option<String>,
+    obj: &'a Value,
+}
+
+impl NodeCx<'_> {
+    fn err(&self, field: &'static str, reason: impl Into<String>) -> ArtifactError {
+        ArtifactError::Node {
+            index: self.index,
+            layer: self.layer.clone(),
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    fn field(&self, field: &'static str) -> Result<&Value, ArtifactError> {
+        self.obj
+            .get(field)
+            .ok_or_else(|| self.err(field, "missing"))
+    }
+
+    fn str_field(&self, field: &'static str) -> Result<String, ArtifactError> {
+        self.field(field)?
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| self.err(field, "expected a string"))
+    }
+
+    fn usize_field(&self, field: &'static str) -> Result<usize, ArtifactError> {
+        let n = self
+            .field(field)?
+            .as_u64()
+            .ok_or_else(|| self.err(field, "expected a non-negative integer"))?;
+        usize::try_from(n).map_err(|_| self.err(field, format!("{n} out of range")))
+    }
+
+    fn positive_field(&self, field: &'static str) -> Result<usize, ArtifactError> {
+        let n = self.usize_field(field)?;
+        if n == 0 {
+            return Err(self.err(field, "must be non-zero"));
+        }
+        Ok(n)
+    }
+
+    fn bool_field(&self, field: &'static str) -> Result<bool, ArtifactError> {
+        self.field(field)?
+            .as_bool()
+            .ok_or_else(|| self.err(field, "expected a boolean"))
+    }
+
+    fn f64_field(&self, field: &'static str) -> Result<f64, ArtifactError> {
+        self.field(field)?
+            .as_f64()
+            .ok_or_else(|| self.err(field, "expected a number"))
+    }
+
+    fn density(&self, v: &Value, field: &'static str) -> Result<f64, ArtifactError> {
+        let d = v
+            .as_f64()
+            .ok_or_else(|| self.err(field, "expected a number"))?;
+        if !(0.0..=1.0).contains(&d) {
+            return Err(self.err(field, format!("density {d} outside [0, 1]")));
+        }
+        Ok(d)
+    }
+
+    fn sparsity(&self) -> Result<Option<SparsityAnnotation>, ArtifactError> {
+        let v = self.field("sparsity")?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        let wd = v
+            .get("weight_density")
+            .ok_or_else(|| self.err("sparsity.weight_density", "missing"))?;
+        let ad = v
+            .get("activation_density")
+            .ok_or_else(|| self.err("sparsity.activation_density", "missing"))?;
+        Ok(Some(SparsityAnnotation {
+            weight_density: self.density(wd, "sparsity.weight_density")?,
+            activation_density: self.density(ad, "sparsity.activation_density")?,
+        }))
+    }
+
+    fn geom(&self) -> Result<ConvGeom, ArtifactError> {
+        let geom = ConvGeom {
+            c: self.positive_field("c")?,
+            k: self.positive_field("k")?,
+            r: self.positive_field("r")?,
+            s: self.positive_field("s")?,
+            h: self.positive_field("h")?,
+            w: self.positive_field("w")?,
+            stride: self.positive_field("stride")?,
+            padding: self.usize_field("padding")?,
+            groups: self.positive_field("groups")?,
+        };
+        if geom.c % geom.groups != 0 || geom.k % geom.groups != 0 {
+            return Err(self.err(
+                "groups",
+                format!(
+                    "groups {} must divide channels (c={}, k={})",
+                    geom.groups, geom.c, geom.k
+                ),
+            ));
+        }
+        if geom.h + 2 * geom.padding < geom.r || geom.w + 2 * geom.padding < geom.s {
+            return Err(self.err(
+                "r",
+                format!(
+                    "kernel {}x{} larger than padded input {}x{}",
+                    geom.r,
+                    geom.s,
+                    geom.h + 2 * geom.padding,
+                    geom.w + 2 * geom.padding
+                ),
+            ));
+        }
+        Ok(geom)
+    }
+}
+
+fn parse_node(index: usize, obj: &Value) -> Result<LayerNode, ArtifactError> {
+    let mut cx = NodeCx {
+        index,
+        layer: None,
+        obj,
+    };
+    if obj.as_object().is_none() {
+        return Err(cx.err("kind", "node is not a JSON object"));
+    }
+    let kind = cx.str_field("kind")?;
+    // Weight-bearing nodes have a name; record it so later errors name it.
+    if matches!(kind.as_str(), "conv" | "depthwise" | "fc") {
+        cx.layer = Some(cx.str_field("name")?);
+    }
+    match kind.as_str() {
+        "conv" | "depthwise" => {
+            let geom = cx.geom()?;
+            let depthwise = kind == "depthwise";
+            if depthwise && !(geom.groups == geom.c && geom.groups == geom.k && geom.groups > 1) {
+                return Err(cx.err(
+                    "groups",
+                    format!(
+                        "depthwise requires groups == c == k > 1 (got groups={}, c={}, k={})",
+                        geom.groups, geom.c, geom.k
+                    ),
+                ));
+            }
+            if !depthwise && geom.groups == geom.c && geom.groups == geom.k && geom.groups > 1 {
+                return Err(cx.err(
+                    "kind",
+                    "groups == c == k > 1 must be declared `depthwise`, not `conv`",
+                ));
+            }
+            let name = cx.layer.clone().unwrap_or_default();
+            let centrosymmetric = cx.bool_field("centrosymmetric")?;
+            let sparsity = cx.sparsity()?;
+            Ok(if depthwise {
+                LayerNode::Depthwise {
+                    name,
+                    geom,
+                    centrosymmetric,
+                    sparsity,
+                }
+            } else {
+                LayerNode::Conv {
+                    name,
+                    geom,
+                    centrosymmetric,
+                    sparsity,
+                }
+            })
+        }
+        "fc" => Ok(LayerNode::FullyConnected {
+            name: cx.layer.clone().unwrap_or_default(),
+            inputs: cx.positive_field("inputs")?,
+            outputs: cx.positive_field("outputs")?,
+            sparsity: cx.sparsity()?,
+        }),
+        "pool" => {
+            let pool = match cx.str_field("pool")?.as_str() {
+                "max" => PoolKind::Max,
+                "avg" => PoolKind::Avg,
+                other => {
+                    return Err(cx.err("pool", format!("unknown pool kind `{other}`")));
+                }
+            };
+            Ok(LayerNode::Pool {
+                kind: pool,
+                window: cx.positive_field("window")?,
+                stride: cx.positive_field("stride")?,
+            })
+        }
+        "activation" => match cx.str_field("activation")?.as_str() {
+            "relu" => Ok(LayerNode::Activation {
+                kind: ActivationKind::Relu,
+            }),
+            other => Err(cx.err("activation", format!("unknown activation `{other}`"))),
+        },
+        "flatten" => Ok(LayerNode::Flatten),
+        "norm" => Ok(LayerNode::Norm {
+            channels: cx.positive_field("channels")?,
+        }),
+        "dropout" => {
+            let p = cx.f64_field("p")?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(cx.err("p", format!("probability {p} outside [0, 1]")));
+            }
+            Ok(LayerNode::Dropout { p })
+        }
+        other => Err(cx.err("kind", format!("unknown node kind `{other}`"))),
+    }
+}
+
+impl ModelIr {
+    /// Serializes to the compact single-line artifact form.
+    pub fn to_json_string(&self) -> String {
+        cscnn_json::to_string(self).unwrap_or_default()
+    }
+
+    /// Serializes to the pretty (2-space indented) artifact form — the
+    /// layout `sim_batch` and the docs use.
+    pub fn to_json_pretty(&self) -> String {
+        cscnn_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Parses and validates an artifact document.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError`] naming the offending node and field: JSON syntax
+    /// errors, missing/mistyped fields, unknown kinds, zero extents,
+    /// indivisible groups, mis-declared depthwise nodes, and out-of-range
+    /// densities are all rejected.
+    pub fn from_json_str(text: &str) -> Result<Self, ArtifactError> {
+        let doc: Value = cscnn_json::from_str(text)?;
+        Self::from_json_value(&doc)
+    }
+
+    /// Like [`ModelIr::from_json_str`], but from an already-parsed
+    /// [`Value`] (e.g. an artifact embedded in a larger report).
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelIr::from_json_str`].
+    pub fn from_json_value(doc: &Value) -> Result<Self, ArtifactError> {
+        let doc_err = |field: &'static str, reason: &str| ArtifactError::Document {
+            field,
+            reason: reason.into(),
+        };
+        if doc.as_object().is_none() {
+            return Err(doc_err("format", "artifact is not a JSON object"));
+        }
+        let format = doc
+            .get("format")
+            .and_then(Value::as_str)
+            .ok_or_else(|| doc_err("format", "missing or not a string"))?;
+        if format != SCHEMA_FORMAT {
+            return Err(doc_err("format", &format!("expected `{SCHEMA_FORMAT}`")));
+        }
+        let version = doc
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| doc_err("version", "missing or not an integer"))?;
+        if version != SCHEMA_VERSION {
+            return Err(ArtifactError::Document {
+                field: "version",
+                reason: format!(
+                    "unsupported version {version} (this build reads {SCHEMA_VERSION})"
+                ),
+            });
+        }
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| doc_err("name", "missing or not a string"))?;
+        let nodes = doc
+            .get("nodes")
+            .and_then(Value::as_array)
+            .ok_or_else(|| doc_err("nodes", "missing or not an array"))?;
+        let nodes = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| parse_node(i, n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ModelIr::new(name, nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn annotated_ir() -> ModelIr {
+        let mut ir = ModelIr::new(
+            "m",
+            vec![
+                LayerNode::conv("C1", 3, 8, 3, 3, 16, 16, 1, 1).with_centrosymmetric(true),
+                LayerNode::Pool {
+                    kind: PoolKind::Max,
+                    window: 2,
+                    stride: 2,
+                },
+                LayerNode::Activation {
+                    kind: ActivationKind::Relu,
+                },
+                LayerNode::grouped("DW", 8, 8, 3, 3, 8, 8, 1, 1, 8),
+                LayerNode::Norm { channels: 8 },
+                LayerNode::Dropout { p: 0.5 },
+                LayerNode::Flatten,
+                LayerNode::fc("F1", 512, 10),
+            ],
+        );
+        for (i, node) in ir.weight_nodes_mut().enumerate() {
+            node.set_sparsity(SparsityAnnotation {
+                weight_density: 0.25 + 0.1 * i as f64,
+                activation_density: 0.75,
+            });
+        }
+        ir
+    }
+
+    #[test]
+    fn round_trip_is_lossless_compact_and_pretty() {
+        let ir = annotated_ir();
+        assert_eq!(ModelIr::from_json_str(&ir.to_json_string()), Ok(ir.clone()));
+        assert_eq!(ModelIr::from_json_str(&ir.to_json_pretty()), Ok(ir));
+    }
+
+    #[test]
+    fn unannotated_nodes_serialize_as_null_sparsity() {
+        let ir = ModelIr::new("m", vec![LayerNode::fc("F", 4, 2)]);
+        let text = ir.to_json_string();
+        assert!(text.contains("\"sparsity\":null"), "{text}");
+        assert_eq!(ModelIr::from_json_str(&text), Ok(ir));
+    }
+
+    #[test]
+    fn errors_name_node_and_field() {
+        let mut bad = annotated_ir().to_json_string();
+        bad = bad.replace("\"window\":2", "\"window\":0");
+        let err = ModelIr::from_json_str(&bad).expect_err("zero window");
+        assert_eq!(
+            err,
+            ArtifactError::Node {
+                index: 1,
+                layer: None,
+                field: "window",
+                reason: "must be non-zero".into(),
+            }
+        );
+        assert!(err.to_string().contains("node 1"), "{err}");
+
+        let mut bad = annotated_ir().to_json_string();
+        bad = bad.replace("0.75", "1.75");
+        let err = ModelIr::from_json_str(&bad).expect_err("density out of range");
+        let ArtifactError::Node {
+            layer: Some(layer),
+            field,
+            ..
+        } = &err
+        else {
+            panic!("wrong variant: {err:?}");
+        };
+        assert_eq!(layer, "C1");
+        assert_eq!(*field, "sparsity.activation_density");
+        assert!(err.to_string().contains("C1"), "{err}");
+    }
+
+    #[test]
+    fn document_level_errors_are_typed() {
+        assert!(matches!(
+            ModelIr::from_json_str("{nope"),
+            Err(ArtifactError::Syntax(_))
+        ));
+        let err = ModelIr::from_json_str(r#"{"format":"other","version":1,"name":"m","nodes":[]}"#)
+            .expect_err("wrong format");
+        assert!(matches!(
+            err,
+            ArtifactError::Document {
+                field: "format",
+                ..
+            }
+        ));
+        let err =
+            ModelIr::from_json_str(r#"{"format":"cscnn-ir","version":99,"name":"m","nodes":[]}"#)
+                .expect_err("future version");
+        assert!(err.to_string().contains("99"), "{err}");
+    }
+
+    #[test]
+    fn depthwise_declaration_must_match_geometry() {
+        let text = annotated_ir()
+            .to_json_string()
+            .replace("\"kind\":\"depthwise\"", "\"kind\":\"conv\"");
+        let err = ModelIr::from_json_str(&text).expect_err("mis-declared depthwise");
+        assert!(err.to_string().contains("depthwise"), "{err}");
+
+        let text = annotated_ir().to_json_string().replacen(
+            "\"kind\":\"conv\"",
+            "\"kind\":\"depthwise\"",
+            1,
+        );
+        let err = ModelIr::from_json_str(&text).expect_err("conv declared depthwise");
+        assert!(err.to_string().contains("groups == c == k"), "{err}");
+    }
+}

@@ -20,8 +20,20 @@
 //! - `Ir → LayerWorkload` — `cscnn_sim::LayerWorkload::from_node`
 //!   (sparse-structure lowering, consumed by `Runner::run_ir`).
 //!
-//! This crate is dependency-free so every layer of the stack can speak IR
-//! without cycles.
+//! Annotated IRs also have an on-disk form: the [`artifact`] module defines
+//! the versioned JSON schema (serialize / parse / validate with typed
+//! [`ArtifactError`]s naming the offending node and field) that ships
+//! trained + annotated models to the simulator, and
+//! [`ModelIr::structural_hash`] is the dedup key batched simulation uses to
+//! synthesize workloads once per unique network structure
+//! (`docs/batching.md`).
+//!
+//! This crate depends only on the std-only `cscnn-json` document model, so
+//! every layer of the stack can speak IR without cycles.
+
+pub mod artifact;
+
+pub use artifact::{ArtifactError, SCHEMA_FORMAT, SCHEMA_VERSION};
 
 use std::fmt;
 
@@ -386,6 +398,145 @@ impl ModelIr {
     pub fn num_weight_nodes(&self) -> usize {
         self.weight_nodes().count()
     }
+
+    /// FNV-1a hash of the model's *structure*: node kinds, layer names,
+    /// geometry, grouping, and centrosymmetric flags — excluding the model
+    /// name and any [`SparsityAnnotation`]s.
+    ///
+    /// Two IRs with equal structural hashes describe the same network
+    /// shape, so batched simulation can group requests that share workload
+    /// geometry even when their measured densities differ
+    /// (`docs/batching.md` documents the full dedup key).
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        for node in &self.nodes {
+            node.hash_structure(&mut h);
+        }
+        h.0
+    }
+
+    /// FNV-1a hash of the *annotated* model: the structural hash extended
+    /// with the model name and the exact bits of every
+    /// [`SparsityAnnotation`]. Equal annotated IRs hash equally; batched
+    /// simulation uses this as the fast probe of its workload cache (with
+    /// full `==` confirmation, so a collision can never alias two
+    /// requests).
+    pub fn annotated_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_str(&self.name);
+        for node in &self.nodes {
+            node.hash_structure(&mut h);
+            match node.sparsity() {
+                Some(ann) => {
+                    h.write(1);
+                    h.write(ann.weight_density.to_bits());
+                    h.write(ann.activation_density.to_bits());
+                }
+                None => h.write(0),
+            }
+        }
+        h.0
+    }
+}
+
+/// Minimal FNV-1a accumulator for the structural/annotated hashes (kept
+/// local so the dependency-light crate needs no `std::hash` plumbing and
+/// the stream is stable across Rust versions).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn write(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        for byte in s.bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100000001b3);
+        }
+        // Length terminator so "ab"+"c" and "a"+"bc" cannot collide.
+        self.write(s.len() as u64);
+    }
+}
+
+impl LayerNode {
+    /// Feeds this node's structure (kind tag, layer name for weight-bearing
+    /// nodes, geometry, centro flag) into the hash stream.
+    fn hash_structure(&self, h: &mut Fnv) {
+        let geom_into = |h: &mut Fnv, g: &ConvGeom| {
+            for v in [g.c, g.k, g.r, g.s, g.h, g.w, g.stride, g.padding, g.groups] {
+                h.write(v as u64);
+            }
+        };
+        match self {
+            LayerNode::Conv {
+                name,
+                geom,
+                centrosymmetric,
+                ..
+            } => {
+                h.write(1);
+                h.write_str(name);
+                geom_into(h, geom);
+                h.write(u64::from(*centrosymmetric));
+            }
+            LayerNode::Depthwise {
+                name,
+                geom,
+                centrosymmetric,
+                ..
+            } => {
+                h.write(2);
+                h.write_str(name);
+                geom_into(h, geom);
+                h.write(u64::from(*centrosymmetric));
+            }
+            LayerNode::FullyConnected {
+                name,
+                inputs,
+                outputs,
+                ..
+            } => {
+                h.write(3);
+                h.write_str(name);
+                h.write(*inputs as u64);
+                h.write(*outputs as u64);
+            }
+            LayerNode::Pool {
+                kind,
+                window,
+                stride,
+            } => {
+                h.write(4);
+                h.write(match kind {
+                    PoolKind::Max => 0,
+                    PoolKind::Avg => 1,
+                });
+                h.write(*window as u64);
+                h.write(*stride as u64);
+            }
+            LayerNode::Activation { kind } => {
+                h.write(5);
+                h.write(match kind {
+                    ActivationKind::Relu => 0,
+                });
+            }
+            LayerNode::Flatten => h.write(6),
+            LayerNode::Norm { channels } => {
+                h.write(7);
+                h.write(*channels as u64);
+            }
+            LayerNode::Dropout { p } => {
+                h.write(8);
+                h.write(p.to_bits());
+            }
+        }
+    }
 }
 
 /// Why a layer could not be described as IR (returned by
@@ -580,5 +731,40 @@ mod tests {
     #[should_panic(expected = "channels must divide groups")]
     fn grouped_rejects_indivisible_channels() {
         let _ = LayerNode::grouped("bad", 10, 10, 3, 3, 8, 8, 1, 1, 3);
+    }
+
+    #[test]
+    fn structural_hash_ignores_annotations_and_model_name() {
+        let nodes = vec![
+            LayerNode::conv("c", 1, 4, 3, 3, 8, 8, 1, 1),
+            LayerNode::fc("f", 16, 4),
+        ];
+        let bare = ModelIr::new("a", nodes.clone());
+        let mut annotated = ModelIr::new("b", nodes);
+        for node in annotated.weight_nodes_mut() {
+            node.set_sparsity(SparsityAnnotation {
+                weight_density: 0.5,
+                activation_density: 0.8,
+            });
+        }
+        assert_eq!(bare.structural_hash(), annotated.structural_hash());
+        assert_ne!(bare.annotated_hash(), annotated.annotated_hash());
+        // The annotated hash of equal IRs is equal (cache-probe soundness).
+        assert_eq!(
+            annotated.annotated_hash(),
+            annotated.clone().annotated_hash()
+        );
+    }
+
+    #[test]
+    fn structural_hash_sees_geometry_and_centro_changes() {
+        let base = ModelIr::new("m", vec![LayerNode::conv("c", 1, 4, 3, 3, 8, 8, 1, 1)]);
+        let wider = ModelIr::new("m", vec![LayerNode::conv("c", 1, 8, 3, 3, 8, 8, 1, 1)]);
+        let centro = ModelIr::new(
+            "m",
+            vec![LayerNode::conv("c", 1, 4, 3, 3, 8, 8, 1, 1).with_centrosymmetric(true)],
+        );
+        assert_ne!(base.structural_hash(), wider.structural_hash());
+        assert_ne!(base.structural_hash(), centro.structural_hash());
     }
 }

@@ -17,6 +17,11 @@
 //!
 //! The function names deliberately mirror `serde_json` so call sites read
 //! the same as before the workspace went dependency-free.
+//!
+//! Relative to the workspace's lowering chain this crate is a leaf: it
+//! depends on nothing and serializes the chain's endpoints — `cscnn-ir`'s
+//! on-disk `ModelIr` artifacts at the front, and `cscnn-sim`'s run reports
+//! and batch summaries at the back.
 
 #![warn(missing_docs)]
 

@@ -36,6 +36,11 @@
 //! Code after the first `#[cfg(test)]` line of a file is exempt from all
 //! rules: test modules sit at the bottom of each file by repo convention,
 //! and tests may unwrap/panic freely.
+//!
+//! The linter stands *outside* the workspace's lowering chain
+//! (`Network`/`ModelDesc` → `ModelIr` → `LayerWorkload` → simulation): it
+//! never lowers anything itself, it audits the source of the crates that
+//! do.
 
 use std::fmt;
 use std::fs;

@@ -11,6 +11,12 @@
 //! weight counts, centrosymmetric eligibility and simulator workloads are
 //! derived.
 //!
+//! [`ModelDesc`] is the *catalog-side entry point* of the workspace's
+//! lowering chain: [`lower::to_ir`] raises a descriptor into the typed
+//! `cscnn-ir` `ModelIr` (the hub every representation meets at), and
+//! [`lower::to_model_desc`] lowers back losslessly for the round-trip
+//! tests.
+//!
 //! # Example
 //!
 //! ```

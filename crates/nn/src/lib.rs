@@ -18,6 +18,12 @@
 //!   MNIST/CIFAR (offline substitution, see DESIGN.md §2);
 //! - reference model builders ([`models`]) and a batch [`trainer`].
 //!
+//! A trained [`Network`] is the *trained-weights entry point* of the
+//! workspace's lowering chain: `Network::to_ir` lowers it into the typed
+//! `cscnn-ir` `ModelIr` (measured shapes and centrosymmetric flags), from
+//! which workload synthesis and simulation proceed exactly as for catalog
+//! models.
+//!
 //! # Example
 //!
 //! ```

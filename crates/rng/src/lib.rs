@@ -15,6 +15,12 @@
 //! SplitMix64, a well-studied generator that is trivially portable and has
 //! no platform-dependent behavior; exact bit-compatibility with `rand`'s
 //! `StdRng` is *not* promised (tests were re-verified against this stream).
+//!
+//! In the workspace's lowering chain these generators drive the stochastic
+//! steps at both ends: weight initialization and synthetic datasets in
+//! `cscnn-nn` before lowering, and sparse workload synthesis in
+//! `cscnn-sparse`/`cscnn-sim` after it — which is why every one of those
+//! steps is replayable from the seeds recorded in run reports.
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,547 @@
+//! Batched simulation intake: many annotated IR requests, one workload
+//! cache, a bounded worker pool (see `docs/batching.md`).
+//!
+//! Serving-style traffic sends thousands of requests that share a handful
+//! of network structures; re-synthesizing `LayerWorkload`s per request
+//! would dominate the run. [`BatchRunner`] deduplicates requests behind a
+//! workload cache: workloads are synthesized **exactly once** per unique
+//! annotated IR (identical structure *and* identical annotations — the
+//! synthesized sparse structure depends on both) and shared by reference
+//! across the pool. Per-request results are bit-identical to sequential
+//! [`Runner::run_ir`] calls, independent of worker count and scheduling
+//! order, because the cache key is exact (hash probe + full `==`
+//! confirmation) and each request is simulated from the same shared
+//! workloads in isolation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use cscnn_ir::{ModelIr, SparsityAnnotation};
+
+use crate::error::SimError;
+use crate::interface::Accelerator;
+use crate::report::RunStats;
+use crate::runner::Runner;
+use crate::util::{count_from_f64, det_sum, to_count, to_index};
+use crate::workload::LayerWorkload;
+
+/// Per-batch workload cache: annotated IR → synthesized workloads.
+///
+/// Keys are probed by [`ModelIr::annotated_hash`] and confirmed with full
+/// `ModelIr` equality, so a hash collision can never alias two requests.
+/// Synthesis happens under the cache lock, which is what makes the
+/// exactly-once guarantee hold even when every worker requests the same
+/// structure simultaneously; the (much heavier) per-layer simulation runs
+/// outside the lock.
+#[derive(Default)]
+struct WorkloadCache {
+    entries: Mutex<CacheState>,
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: Vec<CacheEntry>,
+    hits: usize,
+    misses: usize,
+}
+
+struct CacheEntry {
+    hash: u64,
+    ir: ModelIr,
+    workloads: Arc<Vec<Option<LayerWorkload>>>,
+}
+
+impl WorkloadCache {
+    /// Returns the shared workloads for `ir`, synthesizing on first sight.
+    fn get_or_synthesize(
+        &self,
+        runner: &Runner,
+        ir: &ModelIr,
+        centro: bool,
+    ) -> Result<Arc<Vec<Option<LayerWorkload>>>, SimError> {
+        let hash = ir.annotated_hash();
+        // A worker that panicked inside an accelerator model may have
+        // poisoned the lock; the critical section only ever pushes fully
+        // constructed entries, so the state is safe to adopt.
+        let mut state = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(pos) = state
+            .entries
+            .iter()
+            .position(|e| e.hash == hash && e.ir == *ir)
+        {
+            state.hits += 1;
+            return Ok(state.entries[pos].workloads.clone());
+        }
+        let workloads = Arc::new(runner.ir_workloads(ir, centro)?);
+        state.misses += 1;
+        state.entries.push(CacheEntry {
+            hash,
+            ir: ir.clone(),
+            workloads: workloads.clone(),
+        });
+        Ok(workloads)
+    }
+}
+
+/// Results of one batch: per-request stats in request order, plus the
+/// cache counters and aggregate throughput/latency views.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Per-request results, in request order (request `i` of the input
+    /// slice is `runs[i]`, exactly as [`Runner::run_ir`] would produce it).
+    pub runs: Vec<RunStats>,
+    /// Requests served from the workload cache.
+    pub cache_hits: usize,
+    /// Requests that synthesized a new cache entry — equivalently, the
+    /// number of unique annotated IRs in the batch.
+    pub cache_misses: usize,
+}
+
+impl BatchStats {
+    /// Number of requests in the batch.
+    pub fn requests(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Unique annotated IRs the batch contained (= cache misses).
+    pub fn unique_structures(&self) -> usize {
+        self.cache_misses
+    }
+
+    /// Total compute cycles across all requests.
+    pub fn total_cycles(&self) -> u64 {
+        self.runs.iter().map(RunStats::total_cycles).sum()
+    }
+
+    /// Total on-chip energy across all requests, in pJ. Summed in request
+    /// order with compensation so the total is bit-identical run to run.
+    pub fn total_on_chip_pj(&self) -> f64 {
+        det_sum(self.runs.iter().map(RunStats::total_on_chip_pj))
+    }
+
+    /// Simulated makespan in seconds: the batch processed back to back on
+    /// one accelerator (sum of per-request latencies, in request order).
+    pub fn makespan_s(&self) -> f64 {
+        det_sum(self.runs.iter().map(RunStats::total_time_s))
+    }
+
+    /// Aggregate throughput in requests per simulated second
+    /// (`requests / makespan`), or 0 for an empty batch.
+    pub fn throughput_rps(&self) -> f64 {
+        let makespan = self.makespan_s();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        self.requests() as f64 / makespan
+    }
+
+    /// Nearest-rank percentile of per-request simulated latency.
+    /// `p` is in `[0, 100]`; returns 0 for an empty batch.
+    pub fn latency_percentile_s(&self, p: f64) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let mut latencies: Vec<f64> = self.runs.iter().map(RunStats::total_time_s).collect();
+        latencies.sort_by(f64::total_cmp);
+        let rank = to_index(count_from_f64(
+            ((p / 100.0) * latencies.len() as f64).ceil(),
+        ));
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    }
+
+    /// Median simulated request latency in seconds.
+    pub fn p50_latency_s(&self) -> f64 {
+        self.latency_percentile_s(50.0)
+    }
+
+    /// 95th-percentile simulated request latency in seconds.
+    pub fn p95_latency_s(&self) -> f64 {
+        self.latency_percentile_s(95.0)
+    }
+
+    /// The aggregate report as a JSON object (requests, unique structures,
+    /// cache counters, cycles, energy, makespan, throughput, p50/p95
+    /// latency) — what `sim_batch` prints.
+    pub fn summary(&self) -> cscnn_json::Value {
+        use cscnn_json::Value;
+        Value::Obj(vec![
+            ("requests".into(), Value::U64(to_count(self.requests()))),
+            (
+                "unique_structures".into(),
+                Value::U64(to_count(self.unique_structures())),
+            ),
+            ("cache_hits".into(), Value::U64(to_count(self.cache_hits))),
+            (
+                "cache_misses".into(),
+                Value::U64(to_count(self.cache_misses)),
+            ),
+            ("total_cycles".into(), Value::U64(self.total_cycles())),
+            (
+                "total_on_chip_pj".into(),
+                Value::F64(self.total_on_chip_pj()),
+            ),
+            ("makespan_s".into(), Value::F64(self.makespan_s())),
+            ("throughput_rps".into(), Value::F64(self.throughput_rps())),
+            ("p50_latency_s".into(), Value::F64(self.p50_latency_s())),
+            ("p95_latency_s".into(), Value::F64(self.p95_latency_s())),
+        ])
+    }
+}
+
+/// Batched, multi-threaded intake over a [`Runner`].
+///
+/// # Example
+///
+/// ```
+/// use cscnn_sim::{Accelerator, BatchRunner, CartesianAccelerator, Runner};
+/// use cscnn_models::{catalog, lower, ModelCompression};
+///
+/// // One annotated structure, many requests.
+/// let model = catalog::lenet5();
+/// let acc = CartesianAccelerator::cscnn();
+/// let mc = ModelCompression::new(model.clone(), acc.scheme());
+/// let mut ir = lower::to_ir(&model);
+/// for (i, node) in ir.weight_nodes_mut().enumerate() {
+///     node.set_sparsity(cscnn_ir::SparsityAnnotation {
+///         weight_density: mc.profile.weight_density[i],
+///         activation_density: mc.profile.activation_density[i],
+///     });
+/// }
+/// let batch = BatchRunner::new(Runner::new(42)).with_workers(2);
+/// let stats = batch.run_batch(&acc, &vec![ir; 4]).unwrap();
+/// assert_eq!(stats.requests(), 4);
+/// assert_eq!(stats.unique_structures(), 1); // synthesized exactly once
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchRunner {
+    runner: Runner,
+    workers: usize,
+}
+
+impl BatchRunner {
+    /// Creates a batched intake over `runner`, with one worker per
+    /// available CPU (falling back to 4 when parallelism cannot be
+    /// queried). Results never depend on the worker count.
+    pub fn new(runner: Runner) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        BatchRunner { runner, workers }
+    }
+
+    /// Overrides the worker-pool size (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The underlying sequential runner.
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// Simulates every request of a batch on one accelerator.
+    ///
+    /// Requests are scheduled across the worker pool with a strided
+    /// assignment; structurally identical requests (same annotated IR)
+    /// share one workload synthesis through the cache. `stats.runs[i]` is
+    /// bit-identical to `runner.run_ir(acc, &requests[i])`.
+    ///
+    /// # Errors
+    ///
+    /// The first failing request *by request index* (deterministic, not
+    /// discovery order): [`SimError::MissingSparsity`] for unannotated
+    /// weight nodes, [`SimError::WorkerPanicked`] naming the request's
+    /// model when an accelerator model panics mid-simulation. Every worker
+    /// is joined before returning.
+    pub fn run_batch(
+        &self,
+        acc: &dyn Accelerator,
+        requests: &[ModelIr],
+    ) -> Result<BatchStats, SimError> {
+        let centro = acc.scheme().uses_centrosymmetric();
+        let cache = WorkloadCache::default();
+        let workers = self.workers.min(requests.len().max(1));
+        let mut slots: Vec<Option<Result<RunStats, SimError>>> = Vec::new();
+        slots.resize_with(requests.len(), || None);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let cache = &cache;
+                    scope.spawn(move || {
+                        let mut done: Vec<(usize, Result<RunStats, SimError>)> = Vec::new();
+                        for (i, ir) in requests.iter().enumerate().skip(w).step_by(workers) {
+                            // A panicking accelerator model must fail only
+                            // this request (typed, naming its model), not
+                            // take the worker's whole stride down.
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                let workloads =
+                                    cache.get_or_synthesize(&self.runner, ir, centro)?;
+                                Ok(self.runner.simulate_prepared(acc, &ir.name, &workloads))
+                            }))
+                            .unwrap_or_else(|_| {
+                                Err(SimError::WorkerPanicked {
+                                    model: ir.name.clone(),
+                                })
+                            });
+                            done.push((i, result));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for (w, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(done) => {
+                        for (i, result) in done {
+                            slots[i] = Some(result);
+                        }
+                    }
+                    // catch_unwind above makes this unreachable in practice;
+                    // keep the run_suite-style fallback so a pathological
+                    // panic still surfaces as a typed error.
+                    Err(_) => {
+                        if let Some(ir) = requests.iter().skip(w).step_by(workers).next() {
+                            slots[w] = Some(Err(SimError::WorkerPanicked {
+                                model: ir.name.clone(),
+                            }));
+                        }
+                    }
+                }
+            }
+        });
+
+        let mut runs = Vec::with_capacity(requests.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(stats)) => runs.push(stats),
+                Some(Err(err)) => return Err(err),
+                None => {
+                    // A lost slot means its worker died without reporting;
+                    // name the request so the failure is actionable.
+                    return Err(SimError::WorkerPanicked {
+                        model: requests[i].name.clone(),
+                    });
+                }
+            }
+        }
+        let state = cache
+            .entries
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        Ok(BatchStats {
+            runs,
+            cache_hits: state.hits,
+            cache_misses: state.misses,
+        })
+    }
+
+    /// Simulates one shared IR under many per-request annotation vectors —
+    /// the "same network, different measured sparsity per request" shape of
+    /// serving traffic. Each vector must carry exactly one annotation per
+    /// weight-bearing node, in order; requests with identical vectors share
+    /// one workload synthesis.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AnnotationCount`] naming the first request whose vector
+    /// length disagrees with the IR's weight-node count, plus everything
+    /// [`BatchRunner::run_batch`] can return.
+    pub fn run_batch_annotated(
+        &self,
+        acc: &dyn Accelerator,
+        ir: &ModelIr,
+        annotations: &[Vec<SparsityAnnotation>],
+    ) -> Result<BatchStats, SimError> {
+        let expected = ir.num_weight_nodes();
+        let requests = annotations
+            .iter()
+            .enumerate()
+            .map(|(request, anns)| {
+                if anns.len() != expected {
+                    return Err(SimError::AnnotationCount {
+                        model: ir.name.clone(),
+                        request,
+                        expected,
+                        got: anns.len(),
+                    });
+                }
+                let mut annotated = ir.clone();
+                for (node, ann) in annotated.weight_nodes_mut().zip(anns) {
+                    node.set_sparsity(*ann);
+                }
+                Ok(annotated)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.run_batch(acc, &requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CartesianAccelerator;
+    use cscnn_models::{catalog, lower, ModelCompression};
+
+    fn annotated_ir(model: &cscnn_models::ModelDesc, acc: &dyn Accelerator) -> ModelIr {
+        let mc = ModelCompression::new(model.clone(), acc.scheme());
+        let mut ir = lower::to_ir(model);
+        for (i, node) in ir.weight_nodes_mut().enumerate() {
+            node.set_sparsity(SparsityAnnotation {
+                weight_density: mc.profile.weight_density[i],
+                activation_density: mc.profile.activation_density[i],
+            });
+        }
+        ir
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_dedups_synthesis() {
+        let acc = CartesianAccelerator::cscnn();
+        let ir = annotated_ir(&catalog::lenet5(), &acc);
+        let runner = Runner::new(42);
+        let batch = BatchRunner::new(runner.clone()).with_workers(4);
+        let requests = vec![ir.clone(); 16];
+        let stats = batch.run_batch(&acc, &requests).expect("annotated batch");
+        assert_eq!(stats.requests(), 16);
+        assert_eq!(stats.cache_misses, 1, "synthesized exactly once");
+        assert_eq!(stats.cache_hits, 15);
+        let sequential = runner.run_ir(&acc, &ir).expect("annotated IR");
+        for run in &stats.runs {
+            assert_eq!(run.total_cycles(), sequential.total_cycles());
+            assert_eq!(run.total_on_chip_pj(), sequential.total_on_chip_pj());
+            assert_eq!(run.model, sequential.model);
+        }
+    }
+
+    #[test]
+    fn mixed_batch_keeps_request_order() {
+        let acc = CartesianAccelerator::cscnn();
+        let lenet = annotated_ir(&catalog::lenet5(), &acc);
+        let convnet = annotated_ir(&catalog::convnet(), &acc);
+        let requests = vec![lenet.clone(), convnet.clone(), lenet, convnet];
+        let stats = BatchRunner::new(Runner::new(7))
+            .with_workers(3)
+            .run_batch(&acc, &requests)
+            .expect("annotated batch");
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.cache_hits, 2);
+        let models: Vec<&str> = stats.runs.iter().map(|r| r.model.as_str()).collect();
+        assert_eq!(models, ["LeNet-5", "ConvNet", "LeNet-5", "ConvNet"]);
+    }
+
+    #[test]
+    fn unannotated_request_fails_with_first_index_error() {
+        let acc = CartesianAccelerator::cscnn();
+        let good = annotated_ir(&catalog::lenet5(), &acc);
+        let bare = lower::to_ir(&catalog::lenet5());
+        let err = BatchRunner::new(Runner::new(1))
+            .run_batch(&acc, &[good, bare])
+            .expect_err("second request unannotated");
+        assert!(matches!(err, SimError::MissingSparsity { .. }));
+    }
+
+    #[test]
+    fn annotation_vectors_expand_and_validate() {
+        let acc = CartesianAccelerator::cscnn();
+        let ir = annotated_ir(&catalog::lenet5(), &acc);
+        let n = ir.num_weight_nodes();
+        let anns: Vec<SparsityAnnotation> = (0..n)
+            .map(|i| SparsityAnnotation {
+                weight_density: 0.3 + 0.05 * i as f64,
+                activation_density: 0.9,
+            })
+            .collect();
+        let batch = BatchRunner::new(Runner::new(5)).with_workers(2);
+        let stats = batch
+            .run_batch_annotated(&acc, &ir, &[anns.clone(), anns.clone()])
+            .expect("matching annotation vectors");
+        assert_eq!(stats.requests(), 2);
+        assert_eq!(stats.cache_misses, 1, "identical vectors share synthesis");
+        let err = batch
+            .run_batch_annotated(&acc, &ir, &[anns[..n - 1].to_vec()])
+            .expect_err("short vector");
+        assert_eq!(
+            err,
+            SimError::AnnotationCount {
+                model: "LeNet-5".into(),
+                request: 0,
+                expected: n,
+                got: n - 1,
+            }
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let acc = CartesianAccelerator::cscnn();
+        let stats = BatchRunner::new(Runner::new(1))
+            .run_batch(&acc, &[])
+            .expect("empty batch");
+        assert_eq!(stats.requests(), 0);
+        assert_eq!(stats.throughput_rps(), 0.0);
+        assert_eq!(stats.p95_latency_s(), 0.0);
+        assert_eq!(stats.summary()["requests"], 0u64);
+    }
+
+    #[test]
+    fn aggregate_percentiles_are_order_statistics() {
+        let mk = |t: f64| RunStats {
+            layers: vec![crate::report::LayerStats {
+                time_s: t,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let stats = BatchStats {
+            runs: (1..=20).map(|i| mk(i as f64)).collect(),
+            cache_hits: 0,
+            cache_misses: 20,
+        };
+        assert_eq!(stats.p50_latency_s(), 10.0);
+        assert_eq!(stats.p95_latency_s(), 19.0);
+        assert_eq!(stats.latency_percentile_s(100.0), 20.0);
+        assert_eq!(stats.latency_percentile_s(0.0), 1.0);
+        assert!((stats.makespan_s() - 210.0).abs() < 1e-12);
+        assert!((stats.throughput_rps() - 20.0 / 210.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panicking_accelerator_fails_only_with_a_typed_error() {
+        use crate::interface::{Characteristics, LayerContext};
+        use crate::report::LayerStats;
+        struct Exploding;
+        impl Accelerator for Exploding {
+            fn name(&self) -> &'static str {
+                "Exploding"
+            }
+            fn scheme(&self) -> cscnn_models::CompressionScheme {
+                cscnn_models::CompressionScheme::Dense
+            }
+            fn characteristics(&self) -> Characteristics {
+                Characteristics {
+                    compression: "-",
+                    sparsity: "-",
+                    dataflow: "-",
+                }
+            }
+            fn simulate_layer(&self, _ctx: &LayerContext<'_>) -> LayerStats {
+                panic!("injected fault")
+            }
+        }
+        let acc = Exploding;
+        let ir = annotated_ir(&catalog::lenet5(), &CartesianAccelerator::cscnn());
+        let err = BatchRunner::new(Runner::new(2))
+            .with_workers(2)
+            .run_batch(&acc, &[ir])
+            .expect_err("accelerator panics");
+        assert_eq!(
+            err,
+            SimError::WorkerPanicked {
+                model: "LeNet-5".into()
+            }
+        );
+    }
+}

@@ -38,6 +38,19 @@ pub enum SimError {
         /// The offending layer's name.
         layer: String,
     },
+    /// A batched request's annotation vector disagrees with the shared
+    /// IR's weight-node count
+    /// ([`BatchRunner::run_batch_annotated`](crate::BatchRunner::run_batch_annotated)).
+    AnnotationCount {
+        /// The shared IR's model name.
+        model: String,
+        /// The offending request's index in the batch.
+        request: usize,
+        /// Weight-bearing nodes in the IR.
+        expected: usize,
+        /// Annotations the request supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -57,6 +70,18 @@ impl fmt::Display for SimError {
                     f,
                     "layer `{layer}` has no sparsity annotation; annotate the IR \
                      before simulating"
+                )
+            }
+            SimError::AnnotationCount {
+                model,
+                request,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "batch request {request} for model `{model}` carries {got} \
+                     annotations but the IR has {expected} weight-bearing nodes"
                 )
             }
         }

@@ -29,6 +29,8 @@
 //! - [`baselines`] — DCNN, Cnvlutin, Cambricon-X/S, SparTen, SIGMA, SpArch.
 //! - [`energy`] / [`area`] / [`dram`] — the cost models.
 //! - [`Runner`] — whole-network and suite simulation.
+//! - [`BatchRunner`] — batched intake of annotated IR requests with a
+//!   workload cache and a worker pool (see `docs/batching.md`).
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@
 mod accelerator;
 pub mod area;
 pub mod baselines;
+pub mod batch;
 mod config;
 pub mod crossbar;
 pub mod dram;
@@ -66,6 +69,7 @@ pub mod validation;
 pub mod workload;
 
 pub use accelerator::CartesianAccelerator;
+pub use batch::{BatchRunner, BatchStats};
 pub use config::ArchConfig;
 pub use error::SimError;
 pub use interface::{Accelerator, Characteristics, LayerContext};

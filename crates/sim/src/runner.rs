@@ -122,35 +122,70 @@ impl Runner {
     /// [`SimError::MissingSparsity`] naming the first unannotated
     /// weight-bearing node.
     pub fn run_ir(&self, acc: &dyn Accelerator, ir: &ModelIr) -> Result<RunStats, SimError> {
-        let cfg = acc.config();
         let centro = acc.scheme().uses_centrosymmetric();
-        let mut stats = RunStats {
-            accelerator: acc.name().to_string(),
-            model: ir.name.clone(),
-            ..Default::default()
-        };
-        let mut input_on_chip = false;
+        let workloads = self.ir_workloads(ir, centro)?;
+        Ok(self.simulate_prepared(acc, &ir.name, &workloads))
+    }
+
+    /// Lowers every node of an annotated IR to its workload (`None` for the
+    /// nodes the simulator does not time), using exactly the per-layer
+    /// seeding of [`Runner::run_ir`] — this is the synthesis half of
+    /// `run_ir`, split out so [`crate::BatchRunner`]'s workload cache can
+    /// share the result across requests (`docs/batching.md`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingSparsity`] naming the first unannotated
+    /// weight-bearing node.
+    pub(crate) fn ir_workloads(
+        &self,
+        ir: &ModelIr,
+        centro: bool,
+    ) -> Result<Vec<Option<LayerWorkload>>, SimError> {
+        let mut workloads = Vec::with_capacity(ir.nodes.len());
         let mut i = 0usize; // weight-node ordinal == ModelDesc layer index
         for node in &ir.nodes {
             let seed = self.seed ^ (util::to_count(i) << 20) ^ model_hash(&ir.name);
-            let Some(wl) = LayerWorkload::from_node(node, centro, seed)? else {
-                continue;
-            };
-            i += 1;
+            let wl = LayerWorkload::from_node(node, centro, seed)?;
+            if wl.is_some() {
+                i += 1;
+            }
+            workloads.push(wl);
+        }
+        Ok(workloads)
+    }
+
+    /// Simulates pre-synthesized workloads layer by layer — the timing half
+    /// of [`Runner::run_ir`]. `None` entries (untimed nodes) are skipped;
+    /// the on-chip chaining of layer inputs matches [`Runner::run_model`].
+    pub(crate) fn simulate_prepared(
+        &self,
+        acc: &dyn Accelerator,
+        model_name: &str,
+        workloads: &[Option<LayerWorkload>],
+    ) -> RunStats {
+        let cfg = acc.config();
+        let mut stats = RunStats {
+            accelerator: acc.name().to_string(),
+            model: model_name.to_string(),
+            ..Default::default()
+        };
+        let mut input_on_chip = false;
+        for wl in workloads.iter().flatten() {
             let out_bytes = util::to_index(wl.layer.output_activations()) * cfg.word_bits / 8;
             let output_fits = out_bytes <= cfg.glb_bytes;
             let ctx = LayerContext {
                 cfg: &cfg,
                 dram: &self.dram,
                 energy: &self.energy,
-                workload: &wl,
+                workload: wl,
                 input_on_chip,
                 output_fits_on_chip: output_fits,
             };
             stats.layers.push(acc.simulate_layer(&ctx));
             input_on_chip = output_fits;
         }
-        Ok(stats)
+        stats
     }
 
     /// Simulates every (accelerator, model) pair, parallelized across

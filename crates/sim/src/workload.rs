@@ -94,8 +94,8 @@ impl LayerWorkload {
     ///
     /// # Errors
     ///
-    /// [`SimError::MissingSparsity`] naming the layer when a weight-bearing
-    /// node has no annotation.
+    /// [`crate::SimError::MissingSparsity`] naming the layer when a
+    /// weight-bearing node has no annotation.
     pub fn from_node(
         node: &cscnn_ir::LayerNode,
         centro: bool,

@@ -24,6 +24,11 @@
 //! - [`sample`] — seeded random sparse tensor synthesis used to build
 //!   simulator workloads at profiled densities.
 //!
+//! In the workspace's lowering chain this crate serves the *last* hop: when
+//! `cscnn-sim` lowers an annotated `ModelIr` node into a `LayerWorkload`,
+//! the sparse filter and activation structure is synthesized and stored in
+//! these representations.
+//!
 //! # Example
 //!
 //! ```

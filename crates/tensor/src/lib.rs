@@ -12,6 +12,11 @@
 //! top of these kernels, mirroring how the paper's algorithmic contribution
 //! (centrosymmetric gradient tying, Eq. 7) manipulates raw gradients.
 //!
+//! In the workspace's lowering chain (`Network`/`ModelDesc` → `ModelIr` →
+//! `LayerWorkload` → simulation) this crate sits *below* the chain's entry
+//! point: it supplies the numeric kernels `cscnn-nn` trains with and knows
+//! nothing about the IR or the simulator.
+//!
 //! # Example
 //!
 //! ```

@@ -179,6 +179,79 @@ fn pe_cycles_bound_products() {
     }
 }
 
+/// Batched intake is a pure cache over sequential simulation: whatever
+/// annotations a request carries and however often its structure repeats
+/// in the batch, `BatchRunner::run_batch` must return, per request, a
+/// result bit-identical to `Runner::run_ir` — a workload-cache hit and a
+/// miss must be indistinguishable from the outside. Annotations are drawn
+/// from seeded `cscnn-rng` streams; worker counts vary per case.
+#[test]
+fn workload_cache_hits_never_change_run_stats() {
+    use cscnn::ir::{ModelIr, SparsityAnnotation};
+    use cscnn::models::{catalog, lower};
+    use cscnn::sim::{BatchRunner, Runner};
+    use cscnn_rng::rngs::StdRng;
+    use cscnn_rng::{Rng, SeedableRng};
+
+    let as_json = |stats: &cscnn::sim::RunStats| -> String {
+        cscnn::json::to_string(stats).expect("stats serialize")
+    };
+
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x55);
+        let model = if rng.gen_bool(0.5) {
+            catalog::lenet5()
+        } else {
+            catalog::convnet()
+        };
+        // A few unique annotation vectors over one structure...
+        let uniques: Vec<ModelIr> = (0..rng.gen_range(1usize..=3))
+            .map(|_| {
+                let mut ir = lower::to_ir(&model);
+                for node in ir.weight_nodes_mut() {
+                    node.set_sparsity(SparsityAnnotation {
+                        weight_density: rng.gen_range(0.1..=0.9f64),
+                        activation_density: rng.gen_range(0.2..=1.0f64),
+                    });
+                }
+                ir
+            })
+            .collect();
+        // ...each duplicated a random number of times, so the batch mixes
+        // cache misses (first sight) and hits (every repeat).
+        let mut requests: Vec<ModelIr> = Vec::new();
+        for ir in &uniques {
+            let copies = rng.gen_range(1usize..=3);
+            requests.extend((0..copies).map(|_| ir.clone()));
+        }
+        let unique_count = uniques.len();
+
+        let runner = Runner::new(case);
+        let workers = rng.gen_range(1usize..=4);
+        let stats = BatchRunner::new(runner.clone())
+            .with_workers(workers)
+            .run_batch(&cscnn::sim::CartesianAccelerator::cscnn(), &requests)
+            .expect("annotated batch");
+
+        assert_eq!(stats.cache_misses, unique_count, "case {case}");
+        assert_eq!(
+            stats.cache_hits,
+            requests.len() - unique_count,
+            "case {case}"
+        );
+        for (i, (run, request)) in stats.runs.iter().zip(&requests).enumerate() {
+            let sequential = runner
+                .run_ir(&cscnn::sim::CartesianAccelerator::cscnn(), request)
+                .expect("annotated IR");
+            assert_eq!(
+                as_json(run),
+                as_json(&sequential),
+                "case {case}, request {i} ({workers} workers)"
+            );
+        }
+    }
+}
+
 /// CSCNN on an eligible layer never issues more multiplications than
 /// SCNN at the same effective model (unique weights ≤ full weights).
 #[test]
