@@ -23,6 +23,15 @@ cargo build --workspace --release
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== property suites across fixed seeds"
+for seed in 1 17 4242; do
+    echo "-- CSCNN_PROP_SEED=$seed"
+    CSCNN_PROP_SEED="$seed" cargo test -q -p cscnn \
+        --test property_ir_topology \
+        --test property_simulator \
+        --test property_invariants
+done
+
 echo "== cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -7,36 +7,53 @@
 //! ```json
 //! {
 //!   "format": "cscnn-ir",
-//!   "version": 1,
-//!   "name": "LeNet-5",
+//!   "version": 2,
+//!   "name": "ResNet-ish",
 //!   "nodes": [
 //!     {"kind": "conv", "name": "C1", "c": 1, "k": 6, "r": 5, "s": 5,
 //!      "h": 28, "w": 28, "stride": 1, "padding": 2, "groups": 1,
 //!      "centrosymmetric": true,
 //!      "sparsity": {"weight_density": 0.4, "activation_density": 1.0}},
-//!     {"kind": "pool", "pool": "max", "window": 2, "stride": 2},
-//!     {"kind": "fc", "name": "F5", "inputs": 400, "outputs": 120,
-//!      "sparsity": null}
+//!     {"kind": "conv", "name": "C2", "c": 6, "k": 6, "r": 3, "s": 3,
+//!      "h": 28, "w": 28, "stride": 1, "padding": 1, "groups": 1,
+//!      "centrosymmetric": false, "sparsity": null},
+//!     {"kind": "add", "name": "C2_add"}
+//!   ],
+//!   "edges": [
+//!     {"from": 0, "to": 1}, {"from": 1, "to": 2}, {"from": 0, "to": 2}
 //!   ]
 //! }
 //! ```
+//!
+//! Schema version 2 adds DAG topology: the `edges` array and the `add` /
+//! `concat` join node kinds. Version-1 artifacts (linear node lists, no
+//! `edges`) still load — the upgrade is lossless because an absent edge
+//! list *is* the implicit linear chain — while `edges` or join nodes in a
+//! document declaring `"version": 1` are rejected.
 //!
 //! Serialization ([`ModelIr::to_json_string`] / [`ModelIr::to_json_pretty`])
 //! cannot fail; parsing ([`ModelIr::from_json_str`]) is strict and returns
 //! an [`ArtifactError`] naming the offending node and field, so a bad
 //! artifact in a directory of thousands is actionable. A parsed artifact is
 //! always *valid* IR: geometry extents are non-zero, groups divide
-//! channels, depthwise nodes satisfy `groups == c == k`, and densities lie
-//! in `[0, 1]`.
+//! channels, depthwise nodes satisfy `groups == c == k`, densities lie in
+//! `[0, 1]`, and the topology passes [`ModelIr::validate`] (in-bounds,
+//! acyclic, topologically ordered, join arity respected).
 
 use std::fmt;
 
 use cscnn_json::Value;
 
-use crate::{ActivationKind, ConvGeom, LayerNode, ModelIr, PoolKind, SparsityAnnotation};
+use crate::{
+    ActivationKind, ConvGeom, IrEdge, LayerNode, ModelIr, PoolKind, SparsityAnnotation,
+    TopologyError,
+};
 
-/// The artifact schema version this crate reads and writes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// The artifact schema version this crate writes (and the newest it reads).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The oldest artifact schema version this crate still reads.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The `format` tag every artifact carries.
 pub const SCHEMA_FORMAT: &str = "cscnn-ir";
@@ -68,6 +85,10 @@ pub enum ArtifactError {
         /// Why it is rejected.
         reason: String,
     },
+    /// The document parsed but its graph topology is malformed (dangling
+    /// or backward edge, cycle, bad join arity); the inner error names the
+    /// offending node or edge.
+    Topology(TopologyError),
 }
 
 impl fmt::Display for ArtifactError {
@@ -88,7 +109,14 @@ impl fmt::Display for ArtifactError {
                 }
                 None => write!(f, "node {index}, field `{field}`: {reason}"),
             },
+            ArtifactError::Topology(e) => write!(f, "artifact topology: {e}"),
         }
+    }
+}
+
+impl From<TopologyError> for ArtifactError {
+    fn from(e: TopologyError) -> Self {
+        ArtifactError::Topology(e)
     }
 }
 
@@ -206,6 +234,14 @@ impl cscnn_json::ToJson for LayerNode {
                 kind(&mut obj, "dropout");
                 obj.push(("p".into(), Value::F64(*p)));
             }
+            LayerNode::Add { name } => {
+                kind(&mut obj, "add");
+                obj.push(("name".into(), Value::Str(name.clone())));
+            }
+            LayerNode::Concat { name } => {
+                kind(&mut obj, "concat");
+                obj.push(("name".into(), Value::Str(name.clone())));
+            }
         }
         Value::Obj(obj)
     }
@@ -213,7 +249,7 @@ impl cscnn_json::ToJson for LayerNode {
 
 impl cscnn_json::ToJson for ModelIr {
     fn to_json(&self) -> Value {
-        Value::Obj(vec![
+        let mut obj = vec![
             ("format".into(), Value::Str(SCHEMA_FORMAT.into())),
             ("version".into(), Value::U64(SCHEMA_VERSION)),
             ("name".into(), Value::Str(self.name.clone())),
@@ -221,7 +257,27 @@ impl cscnn_json::ToJson for ModelIr {
                 "nodes".into(),
                 Value::Arr(self.nodes.iter().map(|n| n.to_json()).collect()),
             ),
-        ])
+        ];
+        // An implicit linear chain carries no edge list — the absent field
+        // round-trips to an empty `edges`, keeping v1-era linear artifacts
+        // and their v2 re-serializations structurally identical.
+        if !self.edges.is_empty() {
+            obj.push((
+                "edges".into(),
+                Value::Arr(
+                    self.edges
+                        .iter()
+                        .map(|e| {
+                            Value::Obj(vec![
+                                ("from".into(), Value::U64(e.from as u64)),
+                                ("to".into(), Value::U64(e.to as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Obj(obj)
     }
 }
 
@@ -361,8 +417,12 @@ fn parse_node(index: usize, obj: &Value) -> Result<LayerNode, ArtifactError> {
         return Err(cx.err("kind", "node is not a JSON object"));
     }
     let kind = cx.str_field("kind")?;
-    // Weight-bearing nodes have a name; record it so later errors name it.
-    if matches!(kind.as_str(), "conv" | "depthwise" | "fc") {
+    // Weight-bearing and join nodes have a name; record it so later
+    // errors name it.
+    if matches!(
+        kind.as_str(),
+        "conv" | "depthwise" | "fc" | "add" | "concat"
+    ) {
         cx.layer = Some(cx.str_field("name")?);
     }
     match kind.as_str() {
@@ -440,6 +500,12 @@ fn parse_node(index: usize, obj: &Value) -> Result<LayerNode, ArtifactError> {
             }
             Ok(LayerNode::Dropout { p })
         }
+        "add" => Ok(LayerNode::Add {
+            name: cx.layer.clone().unwrap_or_default(),
+        }),
+        "concat" => Ok(LayerNode::Concat {
+            name: cx.layer.clone().unwrap_or_default(),
+        }),
         other => Err(cx.err("kind", format!("unknown node kind `{other}`"))),
     }
 }
@@ -494,11 +560,12 @@ impl ModelIr {
             .get("version")
             .and_then(Value::as_u64)
             .ok_or_else(|| doc_err("version", "missing or not an integer"))?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(ArtifactError::Document {
                 field: "version",
                 reason: format!(
-                    "unsupported version {version} (this build reads {SCHEMA_VERSION})"
+                    "unsupported version {version} \
+                     (this build reads {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
                 ),
             });
         }
@@ -515,7 +582,51 @@ impl ModelIr {
             .enumerate()
             .map(|(i, n)| parse_node(i, n))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ModelIr::new(name, nodes))
+        if version < 2 {
+            // Joins and explicit edges are version-2 schema surface; a v1
+            // document carrying them is corrupt, not merely old.
+            if let Some(i) = nodes.iter().position(LayerNode::is_join) {
+                return Err(ArtifactError::Node {
+                    index: i,
+                    layer: nodes[i].name().map(str::to_owned),
+                    field: "kind",
+                    reason: format!("`{}` joins require schema version 2", nodes[i].kind_label()),
+                });
+            }
+            if doc.get("edges").is_some() {
+                return Err(doc_err("edges", "explicit edges require schema version 2"));
+            }
+        }
+        let edges = match doc.get("edges") {
+            None => Vec::new(),
+            Some(v) => {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| doc_err("edges", "expected an array"))?;
+                arr.iter()
+                    .enumerate()
+                    .map(|(i, e)| {
+                        let endpoint = |key: &str| {
+                            e.get(key).and_then(Value::as_u64).ok_or_else(|| {
+                                ArtifactError::Document {
+                                    field: "edges",
+                                    reason: format!(
+                                        "edge {i}: `{key}` missing or not a non-negative integer"
+                                    ),
+                                }
+                            })
+                        };
+                        Ok(IrEdge::new(
+                            endpoint("from")? as usize,
+                            endpoint("to")? as usize,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, ArtifactError>>()?
+            }
+        };
+        let ir = ModelIr::with_edges(name, nodes, edges);
+        ir.validate()?;
+        Ok(ir)
     }
 }
 
@@ -618,6 +729,76 @@ mod tests {
             ModelIr::from_json_str(r#"{"format":"cscnn-ir","version":99,"name":"m","nodes":[]}"#)
                 .expect_err("future version");
         assert!(err.to_string().contains("99"), "{err}");
+    }
+
+    fn residual_ir() -> ModelIr {
+        let mut b = crate::IrBuilder::new("res");
+        let stem = b.push(LayerNode::conv("C1", 3, 8, 3, 3, 16, 16, 1, 1));
+        let branch = b.push_after(LayerNode::conv("C2", 8, 8, 3, 3, 16, 16, 1, 1), &[stem]);
+        let join = b.push_after(LayerNode::add("C2_add"), &[branch]);
+        b.edge(stem, join);
+        b.finish().expect("valid residual block")
+    }
+
+    #[test]
+    fn dag_artifacts_round_trip_with_edges_and_joins() {
+        let ir = residual_ir();
+        for text in [ir.to_json_string(), ir.to_json_pretty()] {
+            assert!(text.contains("\"edges\""), "{text}");
+            assert!(text.contains("\"kind\":\"add\"") || text.contains("\"kind\": \"add\""));
+            assert_eq!(ModelIr::from_json_str(&text), Ok(ir.clone()));
+        }
+        // Linear chains omit the edge list entirely.
+        let linear = annotated_ir();
+        assert!(!linear.to_json_string().contains("\"edges\""));
+    }
+
+    #[test]
+    fn v1_artifacts_upgrade_losslessly_but_reject_v2_surface() {
+        // A v1 document (what pre-DAG builds wrote) still loads, as the
+        // implicit linear chain.
+        let v1 = annotated_ir()
+            .to_json_string()
+            .replace("\"version\":2", "\"version\":1");
+        let loaded = ModelIr::from_json_str(&v1).expect("v1 artifacts still load");
+        assert_eq!(loaded, annotated_ir());
+        assert!(loaded.is_linear());
+
+        // But v2 surface under a v1 version tag is corruption, not age.
+        let joined = residual_ir().to_json_string();
+        let err = ModelIr::from_json_str(&joined.replace("\"version\":2", "\"version\":1"))
+            .expect_err("joins need v2");
+        assert!(err.to_string().contains("schema version 2"), "{err}");
+
+        let edges_only = annotated_ir()
+            .to_json_string()
+            .replace("\"version\":2", "\"version\":1")
+            .replace("\"nodes\":", "\"edges\":[],\"nodes\":");
+        let err = ModelIr::from_json_str(&edges_only).expect_err("edges need v2");
+        assert!(matches!(
+            err,
+            ArtifactError::Document { field: "edges", .. }
+        ));
+    }
+
+    #[test]
+    fn topology_errors_surface_through_the_parser() {
+        let mut ir = residual_ir();
+        ir.edges.push(crate::IrEdge::new(1, 99));
+        let err = ModelIr::from_json_str(&ir.to_json_string()).expect_err("dangling edge");
+        assert!(
+            matches!(
+                err,
+                ArtifactError::Topology(TopologyError::DanglingEdge { to: 99, .. })
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("99"), "{err}");
+
+        let mut ir = residual_ir();
+        ir.edges.retain(|e| !(e.from == 0 && e.to == 2));
+        let err = ModelIr::from_json_str(&ir.to_json_string()).expect_err("starved join");
+        assert!(err.to_string().contains("C2_add"), "{err}");
     }
 
     #[test]

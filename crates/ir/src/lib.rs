@@ -7,11 +7,16 @@
 //! `cscnn_models::LayerDesc` geometry, `cscnn_sim::LayerWorkload` sparse
 //! structure, and the old downcasting bridge in `cscnn`).
 //!
-//! A [`ModelIr`] is an ordered list of [`LayerNode`]s — every layer of a
-//! network, weight-bearing or not — each carrying exact geometry
+//! A [`ModelIr`] is a DAG: an ordered list of [`LayerNode`]s — every layer
+//! of a network, weight-bearing or not — each carrying exact geometry
 //! ([`ConvGeom`]), grouping, the centrosymmetric flag, and an optional
-//! measured [`SparsityAnnotation`]. Producers and consumers are explicit
-//! lowering passes (see `docs/ir.md`):
+//! measured [`SparsityAnnotation`] — plus a list of directed [`IrEdge`]s
+//! wiring them together. An IR with no edges is an implicit linear chain
+//! (the historical form, and what sequential networks lower to); residual
+//! and branching networks carry explicit edges and the [`LayerNode::Add`] /
+//! [`LayerNode::Concat`] join nodes, validated by [`ModelIr::validate`]
+//! (the node list must be a topological order of the edges). Producers and
+//! consumers are explicit lowering passes (see `docs/ir.md`):
 //!
 //! - `Network → Ir` — `cscnn_nn::Network::to_ir` via each layer's typed
 //!   `Layer::describe`;
@@ -33,7 +38,7 @@
 
 pub mod artifact;
 
-pub use artifact::{ArtifactError, SCHEMA_FORMAT, SCHEMA_VERSION};
+pub use artifact::{ArtifactError, MIN_SCHEMA_VERSION, SCHEMA_FORMAT, SCHEMA_VERSION};
 
 use std::fmt;
 
@@ -192,6 +197,18 @@ pub enum LayerNode {
         /// Drop probability.
         p: f64,
     },
+    /// Elementwise addition join (residual merge). Requires at least two
+    /// in-edges in a DAG-shaped IR.
+    Add {
+        /// Join name (e.g. `"conv2_0_add"`).
+        name: String,
+    },
+    /// Channel concatenation join (inception merge). Requires at least two
+    /// in-edges in a DAG-shaped IR.
+    Concat {
+        /// Join name (e.g. `"inception_3a/concat"`).
+        name: String,
+    },
 }
 
 impl LayerNode {
@@ -282,13 +299,30 @@ impl LayerNode {
         }
     }
 
-    /// Renames a weight-bearing node (no-op on the other variants).
+    /// An elementwise-addition join node (residual merge).
+    pub fn add(name: &str) -> Self {
+        LayerNode::Add {
+            name: name.to_string(),
+        }
+    }
+
+    /// A channel-concatenation join node (inception merge).
+    pub fn concat(name: &str) -> Self {
+        LayerNode::Concat {
+            name: name.to_string(),
+        }
+    }
+
+    /// Renames a named (weight-bearing or join) node — no-op on the
+    /// anonymous shape-routing variants.
     #[must_use]
     pub fn with_name(mut self, new_name: &str) -> Self {
         match &mut self {
             LayerNode::Conv { name, .. }
             | LayerNode::Depthwise { name, .. }
-            | LayerNode::FullyConnected { name, .. } => *name = new_name.to_string(),
+            | LayerNode::FullyConnected { name, .. }
+            | LayerNode::Add { name }
+            | LayerNode::Concat { name } => *name = new_name.to_string(),
             _ => {}
         }
         self
@@ -321,12 +355,14 @@ impl LayerNode {
         }
     }
 
-    /// The node's name, for weight-bearing variants.
+    /// The node's name, for named (weight-bearing or join) variants.
     pub fn name(&self) -> Option<&str> {
         match self {
             LayerNode::Conv { name, .. }
             | LayerNode::Depthwise { name, .. }
-            | LayerNode::FullyConnected { name, .. } => Some(name),
+            | LayerNode::FullyConnected { name, .. }
+            | LayerNode::Add { name }
+            | LayerNode::Concat { name } => Some(name),
             _ => None,
         }
     }
@@ -350,6 +386,12 @@ impl LayerNode {
         )
     }
 
+    /// Whether this node is a multi-input join (`Add` / `Concat`), the
+    /// only variants [`ModelIr::validate`] allows a fan-in above one.
+    pub fn is_join(&self) -> bool {
+        matches!(self, LayerNode::Add { .. } | LayerNode::Concat { .. })
+    }
+
     /// A short kind label (`"conv"`, `"fc"`, `"pool"`, …).
     pub fn kind_label(&self) -> &'static str {
         match self {
@@ -361,26 +403,211 @@ impl LayerNode {
             LayerNode::Flatten => "flatten",
             LayerNode::Norm { .. } => "norm",
             LayerNode::Dropout { .. } => "dropout",
+            LayerNode::Add { .. } => "add",
+            LayerNode::Concat { .. } => "concat",
         }
     }
 }
 
-/// A whole model in IR form: name plus every layer, in execution order.
+/// A directed edge between two nodes of a [`ModelIr`], by node index:
+/// the activations produced by `from` feed `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IrEdge {
+    /// Producer node index.
+    pub from: usize,
+    /// Consumer node index.
+    pub to: usize,
+}
+
+impl IrEdge {
+    /// Creates an edge `from → to`.
+    pub fn new(from: usize, to: usize) -> Self {
+        IrEdge { from, to }
+    }
+}
+
+/// A whole model in IR form: name plus every layer, in a topological
+/// execution order, optionally wired into a DAG by explicit [`IrEdge`]s.
+///
+/// When `edges` is empty the IR is an *implicit linear chain* — node `i`
+/// feeds node `i + 1` — which is the historical form and what sequential
+/// networks lower to. A non-empty `edges` list makes the topology
+/// explicit; [`ModelIr::validate`] checks it is a well-formed DAG whose
+/// node list is a topological order.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct ModelIr {
     /// Canonical model name.
     pub name: String,
-    /// All layers, weight-bearing or not, in execution order.
+    /// All layers, weight-bearing or not, in (topological) execution order.
     pub nodes: Vec<LayerNode>,
+    /// Explicit dataflow edges; empty means the implicit linear chain.
+    pub edges: Vec<IrEdge>,
 }
 
 impl ModelIr {
-    /// Creates a model IR.
+    /// Creates a linear-chain model IR (no explicit edges).
     pub fn new(name: &str, nodes: Vec<LayerNode>) -> Self {
         ModelIr {
             name: name.to_string(),
             nodes,
+            edges: Vec::new(),
         }
+    }
+
+    /// Creates a DAG-shaped model IR with explicit edges. The result is
+    /// not validated; call [`ModelIr::validate`] (the lowering passes and
+    /// the artifact parser do).
+    pub fn with_edges(name: &str, nodes: Vec<LayerNode>, edges: Vec<IrEdge>) -> Self {
+        ModelIr {
+            name: name.to_string(),
+            nodes,
+            edges,
+        }
+    }
+
+    /// Whether this IR is an implicit linear chain (no explicit edges).
+    pub fn is_linear(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The indices of the nodes feeding node `i` — edge sources in a
+    /// DAG-shaped IR, or `i - 1` under the implicit linear chain.
+    pub fn predecessors(&self, i: usize) -> Vec<usize> {
+        if self.edges.is_empty() {
+            if i == 0 {
+                Vec::new()
+            } else {
+                vec![i - 1]
+            }
+        } else {
+            self.edges
+                .iter()
+                .filter(|e| e.to == i)
+                .map(|e| e.from)
+                .collect()
+        }
+    }
+
+    /// A human-readable label for node `i`: its name when it has one,
+    /// otherwise `#i(kind)`.
+    pub fn node_label(&self, i: usize) -> String {
+        match self.nodes.get(i).and_then(LayerNode::name) {
+            Some(name) => name.to_string(),
+            None => format!(
+                "#{i}({})",
+                self.nodes.get(i).map_or("missing", LayerNode::kind_label)
+            ),
+        }
+    }
+
+    /// Validates the topology. An implicit linear chain is valid iff it
+    /// contains no join nodes (joins need a fan-in of at least two). An
+    /// explicit edge list must satisfy:
+    ///
+    /// - every edge endpoint is in bounds ([`TopologyError::DanglingEdge`]);
+    /// - no edge is repeated ([`TopologyError::DuplicateEdge`]);
+    /// - every edge points forward in the node list — the list is a
+    ///   topological order. A backward edge is diagnosed precisely: if the
+    ///   graph has a cycle the error names a node on it
+    ///   ([`TopologyError::Cycle`]), otherwise the list is merely
+    ///   mis-ordered ([`TopologyError::NotTopological`]);
+    /// - join nodes (`Add`/`Concat`) have fan-in ≥ 2
+    ///   ([`TopologyError::JoinUnderArity`]) and every other node has
+    ///   fan-in ≤ 1 ([`TopologyError::FanInTooHigh`]).
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let n = self.nodes.len();
+        if self.edges.is_empty() {
+            // Implicit chain: fan-in is 1 everywhere past the input, so
+            // any join node is under-fed.
+            for (i, node) in self.nodes.iter().enumerate() {
+                if node.is_join() {
+                    return Err(TopologyError::JoinUnderArity {
+                        node: i,
+                        name: self.node_label(i),
+                        fan_in: usize::from(i > 0),
+                    });
+                }
+            }
+            return Ok(());
+        }
+
+        let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
+        let mut fan_in = vec![0usize; n];
+        let mut backward = None;
+        for (ei, e) in self.edges.iter().enumerate() {
+            if e.from >= n || e.to >= n {
+                return Err(TopologyError::DanglingEdge {
+                    edge: ei,
+                    from: e.from,
+                    to: e.to,
+                    nodes: n,
+                });
+            }
+            if !seen.insert((e.from, e.to)) {
+                return Err(TopologyError::DuplicateEdge {
+                    edge: ei,
+                    from: e.from,
+                    to: e.to,
+                });
+            }
+            if e.from >= e.to && backward.is_none() {
+                backward = Some(ei);
+            }
+            fan_in[e.to] += 1;
+        }
+
+        if let Some(ei) = backward {
+            // Distinguish a genuine cycle from a merely mis-ordered list
+            // with Kahn's algorithm over the full edge set.
+            let mut indeg = fan_in.clone();
+            let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+            let mut processed = 0usize;
+            while let Some(v) = ready.pop() {
+                processed += 1;
+                for e in &self.edges {
+                    if e.from == v {
+                        indeg[e.to] -= 1;
+                        if indeg[e.to] == 0 {
+                            ready.push(e.to);
+                        }
+                    }
+                }
+            }
+            if processed < n {
+                let node = (0..n)
+                    .find(|&i| indeg[i] > 0)
+                    .expect("some node remains on the cycle");
+                return Err(TopologyError::Cycle {
+                    node,
+                    name: self.node_label(node),
+                });
+            }
+            let e = self.edges[ei];
+            return Err(TopologyError::NotTopological {
+                edge: ei,
+                from: e.from,
+                to: e.to,
+            });
+        }
+
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.is_join() {
+                if fan_in[i] < 2 {
+                    return Err(TopologyError::JoinUnderArity {
+                        node: i,
+                        name: self.node_label(i),
+                        fan_in: fan_in[i],
+                    });
+                }
+            } else if fan_in[i] > 1 {
+                return Err(TopologyError::FanInTooHigh {
+                    node: i,
+                    name: self.node_label(i),
+                    fan_in: fan_in[i],
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The weight-bearing nodes, in order.
@@ -412,7 +639,19 @@ impl ModelIr {
         for node in &self.nodes {
             node.hash_structure(&mut h);
         }
+        self.hash_topology(&mut h);
         h.0
+    }
+
+    /// Feeds the edge list into the hash stream, so two IRs with the same
+    /// node multiset but different wiring (e.g. real skip edges vs a
+    /// flattened chain) never share a structural or annotated hash.
+    fn hash_topology(&self, h: &mut Fnv) {
+        h.write(self.edges.len() as u64);
+        for e in &self.edges {
+            h.write(e.from as u64);
+            h.write(e.to as u64);
+        }
     }
 
     /// FNV-1a hash of the *annotated* model: the structural hash extended
@@ -435,9 +674,172 @@ impl ModelIr {
                 None => h.write(0),
             }
         }
+        self.hash_topology(&mut h);
         h.0
     }
 }
+
+/// Incremental [`ModelIr`] construction for DAG-shaped networks: push
+/// nodes, get their indices back, and wire edges by index. `finish`
+/// validates the topology so catalog authoring mistakes fail loudly.
+#[derive(Debug, Default)]
+pub struct IrBuilder {
+    name: String,
+    nodes: Vec<LayerNode>,
+    edges: Vec<IrEdge>,
+}
+
+impl IrBuilder {
+    /// Starts a builder for a model with the given name.
+    pub fn new(name: &str) -> Self {
+        IrBuilder {
+            name: name.to_string(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Appends a node with no in-edges (a source until wired) and returns
+    /// its index.
+    pub fn push(&mut self, node: LayerNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Appends a node fed by every index in `preds` and returns its index.
+    pub fn push_after(&mut self, node: LayerNode, preds: &[usize]) -> usize {
+        let i = self.push(node);
+        for &p in preds {
+            self.edges.push(IrEdge::new(p, i));
+        }
+        i
+    }
+
+    /// Adds an explicit edge `from → to`.
+    pub fn edge(&mut self, from: usize, to: usize) -> &mut Self {
+        self.edges.push(IrEdge::new(from, to));
+        self
+    }
+
+    /// Index of the most recently pushed node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node has been pushed yet.
+    pub fn last(&self) -> usize {
+        assert!(!self.nodes.is_empty(), "no nodes pushed yet");
+        self.nodes.len() - 1
+    }
+
+    /// Finishes the build, validating the topology.
+    pub fn finish(self) -> Result<ModelIr, TopologyError> {
+        let ir = ModelIr {
+            name: self.name,
+            nodes: self.nodes,
+            edges: self.edges,
+        };
+        ir.validate()?;
+        Ok(ir)
+    }
+}
+
+/// A malformed [`ModelIr`] topology, diagnosed by [`ModelIr::validate`].
+/// Every variant names the offending node or edge so corrupted artifacts
+/// and authoring bugs are actionable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge endpoint is outside the node list.
+    DanglingEdge {
+        /// Index of the offending edge in `edges`.
+        edge: usize,
+        /// The edge's producer index.
+        from: usize,
+        /// The edge's consumer index.
+        to: usize,
+        /// Number of nodes in the IR.
+        nodes: usize,
+    },
+    /// The same `from → to` edge appears twice.
+    DuplicateEdge {
+        /// Index of the second occurrence in `edges`.
+        edge: usize,
+        /// The edge's producer index.
+        from: usize,
+        /// The edge's consumer index.
+        to: usize,
+    },
+    /// The graph contains a dependency cycle.
+    Cycle {
+        /// Index of a node on the cycle.
+        node: usize,
+        /// That node's label.
+        name: String,
+    },
+    /// The graph is acyclic but the node list is not a topological order
+    /// (an edge points backward in list order).
+    NotTopological {
+        /// Index of the offending edge in `edges`.
+        edge: usize,
+        /// The edge's producer index.
+        from: usize,
+        /// The edge's consumer index.
+        to: usize,
+    },
+    /// An `Add`/`Concat` join has fewer than two in-edges.
+    JoinUnderArity {
+        /// Index of the join node.
+        node: usize,
+        /// The join's label.
+        name: String,
+        /// Its actual fan-in.
+        fan_in: usize,
+    },
+    /// A non-join node has more than one in-edge.
+    FanInTooHigh {
+        /// Index of the node.
+        node: usize,
+        /// The node's label.
+        name: String,
+        /// Its actual fan-in.
+        fan_in: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DanglingEdge {
+                edge,
+                from,
+                to,
+                nodes,
+            } => write!(
+                f,
+                "edge {edge} ({from} -> {to}) dangles: model has {nodes} nodes"
+            ),
+            TopologyError::DuplicateEdge { edge, from, to } => {
+                write!(f, "edge {edge} ({from} -> {to}) duplicates an earlier edge")
+            }
+            TopologyError::Cycle { node, name } => {
+                write!(f, "dependency cycle through node {node} (`{name}`)")
+            }
+            TopologyError::NotTopological { edge, from, to } => write!(
+                f,
+                "edge {edge} ({from} -> {to}) points backward: node list is not a topological order"
+            ),
+            TopologyError::JoinUnderArity { node, name, fan_in } => write!(
+                f,
+                "join node {node} (`{name}`) has fan-in {fan_in}, needs at least 2"
+            ),
+            TopologyError::FanInTooHigh { node, name, fan_in } => write!(
+                f,
+                "node {node} (`{name}`) has fan-in {fan_in}, but only Add/Concat joins may merge"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// Minimal FNV-1a accumulator for the structural/annotated hashes (kept
 /// local so the dependency-light crate needs no `std::hash` plumbing and
@@ -535,6 +937,14 @@ impl LayerNode {
                 h.write(8);
                 h.write(p.to_bits());
             }
+            LayerNode::Add { name } => {
+                h.write(9);
+                h.write_str(name);
+            }
+            LayerNode::Concat { name } => {
+                h.write(10);
+                h.write_str(name);
+            }
         }
     }
 }
@@ -603,6 +1013,13 @@ pub enum IrError {
         /// The offending layer.
         layer: String,
     },
+    /// The IR's graph topology is malformed (see [`TopologyError`]).
+    BadTopology {
+        /// The model's name.
+        model: String,
+        /// The underlying topology diagnosis, naming the node or edge.
+        error: TopologyError,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -621,6 +1038,9 @@ impl fmt::Display for IrError {
             }
             IrError::MissingConvInput { layer } => {
                 write!(f, "layer {layer}: no spatial input extent provided")
+            }
+            IrError::BadTopology { model, error } => {
+                write!(f, "model `{model}`: {error}")
             }
         }
     }
@@ -754,6 +1174,162 @@ mod tests {
             annotated.annotated_hash(),
             annotated.clone().annotated_hash()
         );
+    }
+
+    /// A minimal residual diamond: conv → (conv, identity) → add.
+    fn diamond() -> ModelIr {
+        let mut b = IrBuilder::new("diamond");
+        let stem = b.push(LayerNode::conv("stem", 1, 4, 3, 3, 8, 8, 1, 1));
+        let branch = b.push_after(LayerNode::conv("branch", 4, 4, 3, 3, 8, 8, 1, 1), &[stem]);
+        let join = b.push_after(LayerNode::add("join"), &[branch]);
+        b.edge(stem, join);
+        b.finish().expect("valid diamond")
+    }
+
+    #[test]
+    fn builder_wires_a_valid_diamond() {
+        let ir = diamond();
+        assert!(!ir.is_linear());
+        assert_eq!(ir.predecessors(0), Vec::<usize>::new());
+        assert_eq!(ir.predecessors(1), vec![0]);
+        let mut preds = ir.predecessors(2);
+        preds.sort_unstable();
+        assert_eq!(preds, vec![0, 1]);
+        assert_eq!(ir.node_label(2), "join");
+    }
+
+    #[test]
+    fn linear_chains_validate_and_report_implicit_predecessors() {
+        let ir = ModelIr::new(
+            "chain",
+            vec![
+                LayerNode::conv("c", 1, 4, 3, 3, 8, 8, 1, 1),
+                LayerNode::Flatten,
+                LayerNode::fc("f", 144, 4),
+            ],
+        );
+        assert!(ir.is_linear());
+        ir.validate().expect("implicit chains are valid");
+        assert_eq!(ir.predecessors(0), Vec::<usize>::new());
+        assert_eq!(ir.predecessors(2), vec![1]);
+        assert_eq!(ir.node_label(1), "#1(flatten)");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_topologies_naming_the_culprit() {
+        let good = diamond();
+
+        let mut dangling = good.clone();
+        dangling.edges.push(IrEdge::new(1, 9));
+        match dangling.validate().expect_err("edge out of bounds") {
+            TopologyError::DanglingEdge { edge, to, .. } => {
+                assert_eq!((edge, to), (3, 9));
+            }
+            other => panic!("expected dangling edge, got {other}"),
+        }
+
+        let mut duplicated = good.clone();
+        duplicated.edges.push(IrEdge::new(0, 2));
+        assert!(matches!(
+            duplicated.validate().expect_err("repeated edge"),
+            TopologyError::DuplicateEdge { from: 0, to: 2, .. }
+        ));
+
+        let mut cyclic = good.clone();
+        cyclic.edges.push(IrEdge::new(2, 1));
+        match cyclic.validate().expect_err("cycle") {
+            TopologyError::Cycle { name, .. } => {
+                assert!(
+                    name == "branch" || name == "join",
+                    "on-cycle node, got {name}"
+                );
+            }
+            other => panic!("expected cycle, got {other}"),
+        }
+
+        // Swap two independent nodes so an edge points backward without
+        // creating a cycle: the error must blame the ordering, not a cycle.
+        let mut misordered = good.clone();
+        misordered.nodes.swap(1, 2);
+        for e in &mut misordered.edges {
+            for end in [&mut e.from, &mut e.to] {
+                *end = match *end {
+                    1 => 2,
+                    2 => 1,
+                    v => v,
+                };
+            }
+        }
+        assert!(matches!(
+            misordered.validate().expect_err("backward edge"),
+            TopologyError::NotTopological { .. }
+        ));
+
+        let mut starved = good.clone();
+        starved.edges.retain(|e| !(e.from == 0 && e.to == 2));
+        match starved.validate().expect_err("join with one input") {
+            TopologyError::JoinUnderArity { name, fan_in, .. } => {
+                assert_eq!((name.as_str(), fan_in), ("join", 1));
+            }
+            other => panic!("expected join arity, got {other}"),
+        }
+
+        let mut b = IrBuilder::new("fanin");
+        let a = b.push(LayerNode::conv("a", 1, 4, 3, 3, 8, 8, 1, 1));
+        let c = b.push(LayerNode::conv("c", 1, 4, 3, 3, 8, 8, 1, 1));
+        b.push_after(LayerNode::conv("sink", 4, 4, 3, 3, 8, 8, 1, 1), &[a, c]);
+        assert!(matches!(
+            b.finish().expect_err("non-join merge"),
+            TopologyError::FanInTooHigh { fan_in: 2, .. }
+        ));
+
+        let with_join_in_chain = ModelIr::new(
+            "chain",
+            vec![
+                LayerNode::conv("c", 1, 4, 3, 3, 8, 8, 1, 1),
+                LayerNode::add("join"),
+            ],
+        );
+        assert!(matches!(
+            with_join_in_chain.validate().expect_err("join in chain"),
+            TopologyError::JoinUnderArity { fan_in: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn hashes_see_topology() {
+        let wired = diamond();
+        let flattened = ModelIr::new("diamond", wired.nodes.clone());
+        assert_ne!(
+            wired.structural_hash(),
+            flattened.structural_hash(),
+            "same node multiset, different wiring"
+        );
+        assert_ne!(wired.annotated_hash(), flattened.annotated_hash());
+
+        let mut rewired = wired.clone();
+        rewired.edges.swap(0, 1);
+        assert_ne!(
+            wired.structural_hash(),
+            rewired.structural_hash(),
+            "edge order is part of the identity"
+        );
+    }
+
+    #[test]
+    fn joins_are_named_but_not_weight_bearing() {
+        let add = LayerNode::add("a").with_name("renamed");
+        assert_eq!(add.name(), Some("renamed"));
+        assert!(add.is_join());
+        assert!(!add.is_weight_bearing());
+        assert_eq!(add.kind_label(), "add");
+        assert_eq!(LayerNode::concat("c").kind_label(), "concat");
+        let mut concat = LayerNode::concat("c");
+        concat.set_sparsity(SparsityAnnotation {
+            weight_density: 0.5,
+            activation_density: 0.5,
+        });
+        assert!(concat.sparsity().is_none(), "joins stay bare");
     }
 
     #[test]

@@ -3,16 +3,20 @@
 //! downstream users can run the standard sparse-accelerator workloads.
 //!
 //! Authored as typed IR (`*_ir`); the `ModelDesc` variants lower via
-//! `Ir → ModelDesc`.
+//! `Ir → ModelDesc`. GoogLeNet carries its real Inception topology: the
+//! four branches of every module fan out from the module input and merge
+//! in a `Concat` join, so the simulator can overlap them.
 
 use crate::lower::to_model_desc;
-use crate::{LayerNode, ModelDesc, ModelIr};
+use crate::{IrBuilder, LayerNode, ModelDesc, ModelIr};
 
 /// Appends one Inception module: the four parallel branches of GoogLeNet
-/// (`1×1`, `1×1→3×3`, `1×1→5×5`, `pool→1×1`).
+/// (`1×1`, `1×1→3×3`, `1×1→5×5`, `pool→1×1`), fanning out from `prev` and
+/// merging in a `Concat` join. Returns the join index and output channels.
 #[allow(clippy::too_many_arguments)]
 fn inception(
-    nodes: &mut Vec<LayerNode>,
+    g: &mut IrBuilder,
+    prev: usize,
     name: &str,
     cin: usize,
     c1: usize,
@@ -22,67 +26,122 @@ fn inception(
     c5: usize,
     pool_proj: usize,
     hw: usize,
-) -> usize {
+) -> (usize, usize) {
     let n = |part: &str| format!("{name}/{part}");
-    nodes.push(LayerNode::conv(&n("1x1"), cin, c1, 1, 1, hw, hw, 1, 0));
-    nodes.push(LayerNode::conv(
-        &n("3x3_reduce"),
-        cin,
-        c3r,
-        1,
-        1,
-        hw,
-        hw,
-        1,
-        0,
-    ));
-    nodes.push(LayerNode::conv(&n("3x3"), c3r, c3, 3, 3, hw, hw, 1, 1));
-    nodes.push(LayerNode::conv(
-        &n("5x5_reduce"),
-        cin,
-        c5r,
-        1,
-        1,
-        hw,
-        hw,
-        1,
-        0,
-    ));
-    nodes.push(LayerNode::conv(&n("5x5"), c5r, c5, 5, 5, hw, hw, 1, 2));
-    nodes.push(LayerNode::conv(
-        &n("pool_proj"),
-        cin,
-        pool_proj,
-        1,
-        1,
-        hw,
-        hw,
-        1,
-        0,
-    ));
-    c1 + c3 + c5 + pool_proj
+    let b1 = g.push_after(
+        LayerNode::conv(&n("1x1"), cin, c1, 1, 1, hw, hw, 1, 0),
+        &[prev],
+    );
+    let r3 = g.push_after(
+        LayerNode::conv(&n("3x3_reduce"), cin, c3r, 1, 1, hw, hw, 1, 0),
+        &[prev],
+    );
+    let b3 = g.push_after(
+        LayerNode::conv(&n("3x3"), c3r, c3, 3, 3, hw, hw, 1, 1),
+        &[r3],
+    );
+    let r5 = g.push_after(
+        LayerNode::conv(&n("5x5_reduce"), cin, c5r, 1, 1, hw, hw, 1, 0),
+        &[prev],
+    );
+    let b5 = g.push_after(
+        LayerNode::conv(&n("5x5"), c5r, c5, 5, 5, hw, hw, 1, 2),
+        &[r5],
+    );
+    let bp = g.push_after(
+        LayerNode::conv(&n("pool_proj"), cin, pool_proj, 1, 1, hw, hw, 1, 0),
+        &[prev],
+    );
+    let cat = g.push_after(LayerNode::concat(&n("concat")), &[b1, b3, b5, bp]);
+    (cat, c1 + c3 + c5 + pool_proj)
 }
 
 /// GoogLeNet (Inception v1) for ImageNet (`3×224×224`) as typed IR — the
 /// workload SCNN's own evaluation used alongside AlexNet and VGG.
 pub fn googlenet_ir() -> ModelIr {
-    let mut nodes = vec![
-        LayerNode::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3), // → 112
-        // maxpool → 56
+    let mut g = IrBuilder::new("GoogLeNet");
+    let conv1 = g.push(LayerNode::conv("conv1", 3, 64, 7, 7, 224, 224, 2, 3)); // → 112
+                                                                               // maxpool → 56
+    let reduce = g.push_after(
         LayerNode::conv("conv2_reduce", 64, 64, 1, 1, 56, 56, 1, 0),
+        &[conv1],
+    );
+    let mut tail = g.push_after(
         LayerNode::conv("conv2", 64, 192, 3, 3, 56, 56, 1, 1),
-        // maxpool → 28
-    ];
+        &[reduce],
+    );
+    // maxpool → 28
     let mut c = 192;
-    c = inception(&mut nodes, "inception_3a", c, 64, 96, 128, 16, 32, 32, 28);
-    c = inception(&mut nodes, "inception_3b", c, 128, 128, 192, 32, 96, 64, 28);
+    (tail, c) = inception(&mut g, tail, "inception_3a", c, 64, 96, 128, 16, 32, 32, 28);
+    (tail, c) = inception(
+        &mut g,
+        tail,
+        "inception_3b",
+        c,
+        128,
+        128,
+        192,
+        32,
+        96,
+        64,
+        28,
+    );
     // maxpool → 14
-    c = inception(&mut nodes, "inception_4a", c, 192, 96, 208, 16, 48, 64, 14);
-    c = inception(&mut nodes, "inception_4b", c, 160, 112, 224, 24, 64, 64, 14);
-    c = inception(&mut nodes, "inception_4c", c, 128, 128, 256, 24, 64, 64, 14);
-    c = inception(&mut nodes, "inception_4d", c, 112, 144, 288, 32, 64, 64, 14);
-    c = inception(
-        &mut nodes,
+    (tail, c) = inception(
+        &mut g,
+        tail,
+        "inception_4a",
+        c,
+        192,
+        96,
+        208,
+        16,
+        48,
+        64,
+        14,
+    );
+    (tail, c) = inception(
+        &mut g,
+        tail,
+        "inception_4b",
+        c,
+        160,
+        112,
+        224,
+        24,
+        64,
+        64,
+        14,
+    );
+    (tail, c) = inception(
+        &mut g,
+        tail,
+        "inception_4c",
+        c,
+        128,
+        128,
+        256,
+        24,
+        64,
+        64,
+        14,
+    );
+    (tail, c) = inception(
+        &mut g,
+        tail,
+        "inception_4d",
+        c,
+        112,
+        144,
+        288,
+        32,
+        64,
+        64,
+        14,
+    );
+    (tail, c) = inception(
+        &mut g,
+        tail,
         "inception_4e",
         c,
         256,
@@ -94,8 +153,9 @@ pub fn googlenet_ir() -> ModelIr {
         14,
     );
     // maxpool → 7
-    c = inception(
-        &mut nodes,
+    (tail, c) = inception(
+        &mut g,
+        tail,
         "inception_5a",
         c,
         256,
@@ -106,8 +166,9 @@ pub fn googlenet_ir() -> ModelIr {
         128,
         7,
     );
-    c = inception(
-        &mut nodes,
+    (tail, c) = inception(
+        &mut g,
+        tail,
         "inception_5b",
         c,
         384,
@@ -118,8 +179,8 @@ pub fn googlenet_ir() -> ModelIr {
         128,
         7,
     );
-    nodes.push(LayerNode::fc("fc", c, 1000));
-    ModelIr::new("GoogLeNet", nodes)
+    g.push_after(LayerNode::fc("fc", c, 1000), &[tail]);
+    g.finish().expect("catalog GoogLeNet topology is valid")
 }
 
 /// GoogLeNet (Inception v1) for ImageNet (`3×224×224`).
@@ -213,6 +274,24 @@ mod tests {
             .filter(|l| l.name.starts_with("inception_"))
             .count();
         assert_eq!(inception_layers, 9 * 6);
+    }
+
+    #[test]
+    fn googlenet_modules_concat_four_branches() {
+        let ir = googlenet_ir();
+        assert!(!ir.is_linear());
+        ir.validate().expect("valid inception topology");
+        let concats: Vec<usize> = ir
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_join())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(concats.len(), 9, "one concat per module");
+        for i in concats {
+            assert_eq!(ir.predecessors(i).len(), 4, "node {i}");
+        }
     }
 
     #[test]

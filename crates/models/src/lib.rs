@@ -34,7 +34,7 @@ pub mod lower;
 pub mod mults;
 pub mod sparsity;
 
-pub use cscnn_ir::{IrError, LayerNode, ModelIr};
+pub use cscnn_ir::{IrBuilder, IrEdge, IrError, LayerNode, ModelIr, TopologyError};
 pub use layer::{LayerDesc, LayerKind, ModelDesc};
 pub use mults::{CompressionScheme, ModelCompression};
 pub use sparsity::SparsityProfile;

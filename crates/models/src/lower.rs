@@ -1,16 +1,20 @@
 //! Lowering passes between the typed IR and the geometry catalog.
 //!
-//! `Ir → ModelDesc` ([`to_model_desc`]) keeps the weight-bearing nodes and
-//! drops the shape-routing ones; `ModelDesc → Ir` ([`to_ir`]) is its exact
-//! right inverse, so `to_model_desc(&to_ir(&desc)) == Ok(desc)` holds
-//! bit-identically for every catalog model (see `tests/integration_ir.rs`).
+//! `Ir → ModelDesc` ([`to_model_desc`]) validates the graph topology, then
+//! keeps the weight-bearing nodes in (topological) list order and drops
+//! the shape-routing and join ones — flattening a DAG into the sequential
+//! geometry view; `ModelDesc → Ir` ([`to_ir`]) raises a descriptor back to
+//! a linear-chain IR, and is an exact right inverse, so
+//! `to_model_desc(&to_ir(&desc)) == Ok(desc)` holds bit-identically for
+//! every catalog model (see `tests/integration_ir.rs`).
 
 use cscnn_ir::{IrError, LayerNode, ModelIr};
 
 use crate::layer::{LayerDesc, LayerKind, ModelDesc};
 
 /// Lowers one IR node to its geometry descriptor, or `None` for nodes that
-/// carry no weights (pool / activation / flatten / norm / dropout).
+/// carry no weights (pool / activation / flatten / norm / dropout, and the
+/// `Add` / `Concat` joins — merges move data, not MACs).
 pub fn layer_desc(node: &LayerNode) -> Option<LayerDesc> {
     match node {
         LayerNode::Conv { name, geom, .. } | LayerNode::Depthwise { name, geom, .. } => {
@@ -37,13 +41,19 @@ pub fn layer_desc(node: &LayerNode) -> Option<LayerDesc> {
     }
 }
 
-/// `Ir → ModelDesc` geometry lowering: keeps the weight-bearing nodes, in
-/// order.
+/// `Ir → ModelDesc` geometry lowering: validates the topology, then keeps
+/// the weight-bearing nodes in list order (which validation guarantees is
+/// a topological order, so the flattened view is a legal schedule).
 ///
 /// # Errors
 ///
+/// [`IrError::BadTopology`] if the graph is malformed;
 /// [`IrError::EmptyModel`] if the IR has no weight-bearing nodes.
 pub fn to_model_desc(ir: &ModelIr) -> Result<ModelDesc, IrError> {
+    ir.validate().map_err(|error| IrError::BadTopology {
+        model: ir.name.clone(),
+        error,
+    })?;
     let layers: Vec<LayerDesc> = ir.nodes.iter().filter_map(layer_desc).collect();
     if layers.is_empty() {
         return Err(IrError::EmptyModel {
@@ -110,6 +120,37 @@ mod tests {
                 model: "hollow".into()
             }
         );
+    }
+
+    #[test]
+    fn malformed_topology_is_rejected_before_flattening() {
+        // An Add join in an implicit chain has fan-in 1 — invalid.
+        let ir = ModelIr::new(
+            "res",
+            vec![
+                LayerNode::conv("C1", 1, 4, 3, 3, 8, 8, 1, 1),
+                LayerNode::add("join"),
+            ],
+        );
+        let err = to_model_desc(&ir).expect_err("starved join");
+        assert!(
+            matches!(err, IrError::BadTopology { ref model, .. } if model == "res"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("join"), "{err}");
+    }
+
+    #[test]
+    fn dag_ir_flattens_in_list_order() {
+        let mut g = cscnn_ir::IrBuilder::new("diamond");
+        let stem = g.push(LayerNode::conv("a", 1, 4, 3, 3, 8, 8, 1, 1));
+        let branch = g.push_after(LayerNode::conv("b", 4, 4, 3, 3, 8, 8, 1, 1), &[stem]);
+        let join = g.push_after(LayerNode::add("j"), &[branch]);
+        g.edge(stem, join);
+        let ir = g.finish().expect("valid diamond");
+        let desc = to_model_desc(&ir).expect("flattens");
+        let names: Vec<_> = desc.layers.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"], "joins are dropped, order preserved");
     }
 
     #[test]

@@ -95,6 +95,12 @@ pub struct BatchStats {
     /// Requests that synthesized a new cache entry — equivalently, the
     /// number of unique annotated IRs in the batch.
     pub cache_misses: usize,
+    /// Per-request branch-overlapped makespans in request order, populated
+    /// when the batch ran with [`BatchRunner::with_sub_arrays`] > 1 (empty
+    /// otherwise). Each entry is [`crate::ScheduleStats::makespan_s`] for
+    /// that request; per-node numbers in [`BatchStats::runs`] are
+    /// unaffected by overlap.
+    pub overlapped_latency_s: Vec<f64>,
 }
 
 impl BatchStats {
@@ -123,6 +129,16 @@ impl BatchStats {
     /// one accelerator (sum of per-request latencies, in request order).
     pub fn makespan_s(&self) -> f64 {
         det_sum(self.runs.iter().map(RunStats::total_time_s))
+    }
+
+    /// Simulated makespan with branch overlap: the sum of per-request
+    /// overlapped makespans. `None` when the batch ran sequentially
+    /// (`sub_arrays == 1`), where [`BatchStats::makespan_s`] is the answer.
+    pub fn overlapped_makespan_s(&self) -> Option<f64> {
+        if self.overlapped_latency_s.is_empty() {
+            return None;
+        }
+        Some(det_sum(self.overlapped_latency_s.iter().copied()))
     }
 
     /// Aggregate throughput in requests per simulated second
@@ -164,7 +180,7 @@ impl BatchStats {
     /// latency) — what `sim_batch` prints.
     pub fn summary(&self) -> cscnn_json::Value {
         use cscnn_json::Value;
-        Value::Obj(vec![
+        let mut doc = Value::Obj(vec![
             ("requests".into(), Value::U64(to_count(self.requests()))),
             (
                 "unique_structures".into(),
@@ -184,7 +200,11 @@ impl BatchStats {
             ("throughput_rps".into(), Value::F64(self.throughput_rps())),
             ("p50_latency_s".into(), Value::F64(self.p50_latency_s())),
             ("p95_latency_s".into(), Value::F64(self.p95_latency_s())),
-        ])
+        ]);
+        if let (Value::Obj(pairs), Some(overlapped)) = (&mut doc, self.overlapped_makespan_s()) {
+            pairs.push(("overlapped_makespan_s".into(), Value::F64(overlapped)));
+        }
+        doc
     }
 }
 
@@ -216,6 +236,7 @@ impl BatchStats {
 pub struct BatchRunner {
     runner: Runner,
     workers: usize,
+    sub_arrays: usize,
 }
 
 impl BatchRunner {
@@ -226,7 +247,11 @@ impl BatchRunner {
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4);
-        BatchRunner { runner, workers }
+        BatchRunner {
+            runner,
+            workers,
+            sub_arrays: 1,
+        }
     }
 
     /// Overrides the worker-pool size (clamped to ≥ 1).
@@ -236,9 +261,27 @@ impl BatchRunner {
         self
     }
 
+    /// Schedules each request's independent branches over `sub_arrays` PE
+    /// sub-arrays (clamped to ≥ 1; default 1 = sequential). With more than
+    /// one, [`BatchStats::overlapped_latency_s`] carries each request's
+    /// overlapped makespan; per-node results stay bit-identical.
+    #[must_use]
+    pub fn with_sub_arrays(mut self, sub_arrays: usize) -> Self {
+        self.sub_arrays = sub_arrays.max(1);
+        self
+    }
+
     /// The underlying sequential runner.
     pub fn runner(&self) -> &Runner {
         &self.runner
+    }
+
+    /// How many scoped worker threads [`BatchRunner::run_batch`] will spawn
+    /// for a batch of `requests` entries — never more than the batch has
+    /// requests, so small batches (or an empty one) cannot create idle
+    /// threads.
+    pub fn planned_workers(&self, requests: usize) -> usize {
+        self.workers.min(requests)
     }
 
     /// Simulates every request of a batch on one accelerator.
@@ -262,8 +305,12 @@ impl BatchRunner {
     ) -> Result<BatchStats, SimError> {
         let centro = acc.scheme().uses_centrosymmetric();
         let cache = WorkloadCache::default();
-        let workers = self.workers.min(requests.len().max(1));
-        let mut slots: Vec<Option<Result<RunStats, SimError>>> = Vec::new();
+        let workers = self.planned_workers(requests.len());
+        if workers == 0 {
+            return Ok(BatchStats::default());
+        }
+        type Slot = Result<(RunStats, Option<f64>), SimError>;
+        let mut slots: Vec<Option<Slot>> = Vec::new();
         slots.resize_with(requests.len(), || None);
 
         std::thread::scope(|scope| {
@@ -271,15 +318,22 @@ impl BatchRunner {
                 .map(|w| {
                     let cache = &cache;
                     scope.spawn(move || {
-                        let mut done: Vec<(usize, Result<RunStats, SimError>)> = Vec::new();
+                        let mut done: Vec<(usize, Slot)> = Vec::new();
                         for (i, ir) in requests.iter().enumerate().skip(w).step_by(workers) {
                             // A panicking accelerator model must fail only
                             // this request (typed, naming its model), not
                             // take the worker's whole stride down.
                             let result = catch_unwind(AssertUnwindSafe(|| {
+                                crate::runner::validate_ir(ir)?;
                                 let workloads =
                                     cache.get_or_synthesize(&self.runner, ir, centro)?;
-                                Ok(self.runner.simulate_prepared(acc, &ir.name, &workloads))
+                                let run = self.runner.simulate_prepared(acc, ir, &workloads);
+                                if self.sub_arrays > 1 {
+                                    let sched = crate::schedule::overlap(ir, run, self.sub_arrays);
+                                    Ok((sched.run, Some(sched.makespan_s)))
+                                } else {
+                                    Ok((run, None))
+                                }
                             }))
                             .unwrap_or_else(|_| {
                                 Err(SimError::WorkerPanicked {
@@ -314,9 +368,15 @@ impl BatchRunner {
         });
 
         let mut runs = Vec::with_capacity(requests.len());
+        let mut overlapped_latency_s = Vec::new();
         for (i, slot) in slots.into_iter().enumerate() {
             match slot {
-                Some(Ok(stats)) => runs.push(stats),
+                Some(Ok((stats, makespan))) => {
+                    runs.push(stats);
+                    if let Some(m) = makespan {
+                        overlapped_latency_s.push(m);
+                    }
+                }
                 Some(Err(err)) => return Err(err),
                 None => {
                     // A lost slot means its worker died without reporting;
@@ -335,6 +395,7 @@ impl BatchRunner {
             runs,
             cache_hits: state.hits,
             cache_misses: state.misses,
+            overlapped_latency_s,
         })
     }
 
@@ -484,6 +545,53 @@ mod tests {
         assert_eq!(stats.throughput_rps(), 0.0);
         assert_eq!(stats.p95_latency_s(), 0.0);
         assert_eq!(stats.summary()["requests"], 0u64);
+        assert_eq!(stats.overlapped_makespan_s(), None);
+    }
+
+    #[test]
+    fn small_batches_never_plan_idle_workers() {
+        // Regression: a batch smaller than the pool used to spawn
+        // `min(workers, max(requests, 1))` scoped threads — one idle thread
+        // for an empty batch. The spawn count must never exceed the request
+        // count.
+        let batch = BatchRunner::new(Runner::new(1)).with_workers(8);
+        assert_eq!(batch.planned_workers(0), 0, "empty batch spawns nothing");
+        assert_eq!(batch.planned_workers(3), 3);
+        assert_eq!(batch.planned_workers(100), 8);
+        for requests in 0..12 {
+            assert!(batch.planned_workers(requests) <= requests);
+        }
+    }
+
+    #[test]
+    fn batch_validates_topology_like_run_ir() {
+        use cscnn_ir::IrEdge;
+        let acc = CartesianAccelerator::cscnn();
+        let mut bad = annotated_ir(&catalog::lenet5(), &acc);
+        bad.edges.push(IrEdge::new(0, bad.nodes.len() + 5));
+        let err = BatchRunner::new(Runner::new(3))
+            .run_batch(&acc, &[bad])
+            .expect_err("dangling edge");
+        assert!(matches!(err, SimError::BadTopology { .. }), "{err}");
+    }
+
+    #[test]
+    fn sub_arrays_surface_overlapped_makespans() {
+        let acc = CartesianAccelerator::cscnn();
+        // LeNet-5 is a linear chain: overlap must change nothing but still
+        // report per-request makespans equal to the sequential sums.
+        let ir = annotated_ir(&catalog::lenet5(), &acc);
+        let stats = BatchRunner::new(Runner::new(6))
+            .with_workers(2)
+            .with_sub_arrays(4)
+            .run_batch(&acc, &[ir.clone(), ir])
+            .expect("annotated batch");
+        assert_eq!(stats.overlapped_latency_s.len(), 2);
+        for (run, &overlapped) in stats.runs.iter().zip(&stats.overlapped_latency_s) {
+            assert!((overlapped - run.total_time_s()).abs() <= 1e-12 * run.total_time_s());
+        }
+        let summary = stats.summary();
+        assert!(summary.get("overlapped_makespan_s").is_some());
     }
 
     #[test]
@@ -499,6 +607,7 @@ mod tests {
             runs: (1..=20).map(|i| mk(i as f64)).collect(),
             cache_hits: 0,
             cache_misses: 20,
+            ..Default::default()
         };
         assert_eq!(stats.p50_latency_s(), 10.0);
         assert_eq!(stats.p95_latency_s(), 19.0);

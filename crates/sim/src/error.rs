@@ -38,6 +38,14 @@ pub enum SimError {
         /// The offending layer's name.
         layer: String,
     },
+    /// An IR reached the simulator with a malformed graph topology
+    /// (dangling or backward edge, cycle, bad join arity).
+    BadTopology {
+        /// The model's name.
+        model: String,
+        /// The underlying diagnosis, naming the offending node or edge.
+        error: cscnn_ir::TopologyError,
+    },
     /// A batched request's annotation vector disagrees with the shared
     /// IR's weight-node count
     /// ([`BatchRunner::run_batch_annotated`](crate::BatchRunner::run_batch_annotated)).
@@ -71,6 +79,9 @@ impl fmt::Display for SimError {
                     "layer `{layer}` has no sparsity annotation; annotate the IR \
                      before simulating"
                 )
+            }
+            SimError::BadTopology { model, error } => {
+                write!(f, "model `{model}` has an invalid graph topology: {error}")
             }
             SimError::AnnotationCount {
                 model,

@@ -8,6 +8,7 @@ use crate::energy::EnergyTable;
 use crate::error::SimError;
 use crate::interface::{Accelerator, LayerContext};
 use crate::report::RunStats;
+use crate::schedule::ScheduleStats;
 use crate::util;
 use crate::workload::LayerWorkload;
 
@@ -90,7 +91,7 @@ impl Runner {
                 profile.weight_density[i],
                 profile.activation_density[i],
                 centro,
-                self.seed ^ (util::to_count(i) << 20) ^ model_hash(&model.name),
+                workload_seed(self.seed, &model.name, &layer.name),
             );
             let out_bytes = util::to_index(layer.output_activations()) * cfg.word_bits / 8;
             let output_fits = out_bytes <= cfg.glb_bytes;
@@ -111,27 +112,60 @@ impl Runner {
     /// Simulates an annotated typed IR model (`Ir → LayerWorkload`
     /// lowering). Weight-bearing nodes must carry measured
     /// [`cscnn_ir::SparsityAnnotation`]s (see
-    /// `cscnn::bridge::simulate_trained`); the other node kinds are
-    /// skipped, exactly as [`Runner::run_model`] never sees them in a
-    /// `ModelDesc`. Workload seeding uses the weight-node ordinal, so an
-    /// IR lowered from a `ModelDesc` simulates bit-identically to the
-    /// original.
+    /// `cscnn::bridge::simulate_trained`); the other node kinds — including
+    /// the `Add`/`Concat` joins of DAG-shaped IRs — are untimed, exactly as
+    /// [`Runner::run_model`] never sees them in a `ModelDesc`. Workload
+    /// seeding is keyed by layer *name* (not list position), so an IR
+    /// lowered from a `ModelDesc` simulates bit-identically to the
+    /// original, and any valid topological reordering of a DAG's node list
+    /// produces identical per-node results.
     ///
     /// # Errors
     ///
-    /// [`SimError::MissingSparsity`] naming the first unannotated
-    /// weight-bearing node.
+    /// [`SimError::BadTopology`] if the IR's graph fails
+    /// [`ModelIr::validate`]; [`SimError::MissingSparsity`] naming the
+    /// first unannotated weight-bearing node.
     pub fn run_ir(&self, acc: &dyn Accelerator, ir: &ModelIr) -> Result<RunStats, SimError> {
+        validate_ir(ir)?;
         let centro = acc.scheme().uses_centrosymmetric();
         let workloads = self.ir_workloads(ir, centro)?;
-        Ok(self.simulate_prepared(acc, &ir.name, &workloads))
+        Ok(self.simulate_prepared(acc, ir, &workloads))
+    }
+
+    /// Like [`Runner::run_ir`], but additionally schedules independent
+    /// branches concurrently across `sub_arrays` PE sub-arrays. Per-node
+    /// cycle/energy results are **bit-identical** to `run_ir` — overlap is
+    /// a scheduling property, not a change to any layer's simulation — and
+    /// the returned [`ScheduleStats`] reports the overlapped makespan
+    /// alongside the sequential sum (see `docs/simulator.md`).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Runner::run_ir`] returns, plus
+    /// [`SimError::InvalidConfig`] when `sub_arrays` is zero.
+    pub fn run_ir_overlapped(
+        &self,
+        acc: &dyn Accelerator,
+        ir: &ModelIr,
+        sub_arrays: usize,
+    ) -> Result<ScheduleStats, SimError> {
+        if sub_arrays == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "sub_arrays",
+                reason: "must be non-zero",
+            });
+        }
+        let run = self.run_ir(acc, ir)?;
+        Ok(crate::schedule::overlap(ir, run, sub_arrays))
     }
 
     /// Lowers every node of an annotated IR to its workload (`None` for the
     /// nodes the simulator does not time), using exactly the per-layer
     /// seeding of [`Runner::run_ir`] — this is the synthesis half of
     /// `run_ir`, split out so [`crate::BatchRunner`]'s workload cache can
-    /// share the result across requests (`docs/batching.md`).
+    /// share the result across requests (`docs/batching.md`). Seeds are
+    /// keyed by the node's name (weightless nodes never consume a seed), so
+    /// workloads are invariant under topological reordering of the list.
     ///
     /// # Errors
     ///
@@ -143,47 +177,59 @@ impl Runner {
         centro: bool,
     ) -> Result<Vec<Option<LayerWorkload>>, SimError> {
         let mut workloads = Vec::with_capacity(ir.nodes.len());
-        let mut i = 0usize; // weight-node ordinal == ModelDesc layer index
         for node in &ir.nodes {
-            let seed = self.seed ^ (util::to_count(i) << 20) ^ model_hash(&ir.name);
-            let wl = LayerWorkload::from_node(node, centro, seed)?;
-            if wl.is_some() {
-                i += 1;
-            }
-            workloads.push(wl);
+            let seed = workload_seed(self.seed, &ir.name, node.name().unwrap_or(""));
+            workloads.push(LayerWorkload::from_node(node, centro, seed)?);
         }
         Ok(workloads)
     }
 
-    /// Simulates pre-synthesized workloads layer by layer — the timing half
-    /// of [`Runner::run_ir`]. `None` entries (untimed nodes) are skipped;
-    /// the on-chip chaining of layer inputs matches [`Runner::run_model`].
+    /// Simulates pre-synthesized workloads node by node — the timing half
+    /// of [`Runner::run_ir`]. `None` entries (untimed nodes) are skipped in
+    /// the reported layer list; a layer's input counts as on-chip when
+    /// *every* graph predecessor produced an output that fit in the global
+    /// buffer (untimed nodes pass their predecessors' status through). For
+    /// an implicit linear chain this reduces exactly to
+    /// [`Runner::run_model`]'s previous-layer chaining.
     pub(crate) fn simulate_prepared(
         &self,
         acc: &dyn Accelerator,
-        model_name: &str,
+        ir: &ModelIr,
         workloads: &[Option<LayerWorkload>],
     ) -> RunStats {
+        debug_assert_eq!(ir.nodes.len(), workloads.len());
         let cfg = acc.config();
         let mut stats = RunStats {
             accelerator: acc.name().to_string(),
-            model: model_name.to_string(),
+            model: ir.name.clone(),
             ..Default::default()
         };
-        let mut input_on_chip = false;
-        for wl in workloads.iter().flatten() {
-            let out_bytes = util::to_index(wl.layer.output_activations()) * cfg.word_bits / 8;
-            let output_fits = out_bytes <= cfg.glb_bytes;
-            let ctx = LayerContext {
-                cfg: &cfg,
-                dram: &self.dram,
-                energy: &self.energy,
-                workload: wl,
-                input_on_chip,
-                output_fits_on_chip: output_fits,
-            };
-            stats.layers.push(acc.simulate_layer(&ctx));
-            input_on_chip = output_fits;
+        // on_chip[i]: whether node i's output is resident in the global
+        // buffer for its consumers. Untimed nodes forward their input
+        // status (false at a graph source — the model input streams from
+        // DRAM).
+        let mut on_chip = vec![false; workloads.len()];
+        for (i, slot) in workloads.iter().enumerate() {
+            let preds = ir.predecessors(i);
+            let input_on_chip = !preds.is_empty() && preds.iter().all(|&p| on_chip[p]);
+            match slot {
+                Some(wl) => {
+                    let out_bytes =
+                        util::to_index(wl.layer.output_activations()) * cfg.word_bits / 8;
+                    let output_fits = out_bytes <= cfg.glb_bytes;
+                    let ctx = LayerContext {
+                        cfg: &cfg,
+                        dram: &self.dram,
+                        energy: &self.energy,
+                        workload: wl,
+                        input_on_chip,
+                        output_fits_on_chip: output_fits,
+                    };
+                    stats.layers.push(acc.simulate_layer(&ctx));
+                    on_chip[i] = output_fits;
+                }
+                None => on_chip[i] = input_on_chip,
+            }
         }
         stats
     }
@@ -236,10 +282,33 @@ impl Runner {
     }
 }
 
-fn model_hash(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
-        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+/// Validates an IR's graph topology, wrapping failures in
+/// [`SimError::BadTopology`]. Shared by [`Runner::run_ir`] and the batch
+/// worker path so batched and sequential simulation reject exactly the
+/// same inputs.
+pub(crate) fn validate_ir(ir: &ModelIr) -> Result<(), SimError> {
+    ir.validate().map_err(|error| SimError::BadTopology {
+        model: ir.name.clone(),
+        error,
     })
+}
+
+/// Derives a layer's workload seed from the runner seed and the *names* of
+/// the model and layer (FNV-1a with length terminators). Name-keyed seeds —
+/// rather than position-keyed — make sampled workloads invariant under
+/// `ModelDesc ↔ ModelIr` lowering and under topological reordering of a
+/// DAG's node list; catalog layer names are unique within a model.
+fn workload_seed(base: u64, model: &str, layer: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for part in [model, layer] {
+        for b in part.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+        for byte in util::to_count(part.len()).to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x100000001b3);
+        }
+    }
+    base ^ h
 }
 
 #[cfg(test)]
@@ -309,6 +378,50 @@ mod tests {
         assert_eq!(from_desc.total_cycles(), from_ir.total_cycles());
         assert_eq!(from_desc.total_on_chip_pj(), from_ir.total_on_chip_pj());
         assert_eq!(from_desc.model, from_ir.model);
+    }
+
+    #[test]
+    fn run_ir_rejects_malformed_topologies() {
+        use cscnn_ir::IrEdge;
+        let mut ir = cscnn_models::lower::to_ir(&catalog::lenet5());
+        ir.edges.push(IrEdge::new(0, ir.nodes.len() + 3));
+        let runner = Runner::new(42);
+        let err = runner
+            .run_ir(&CartesianAccelerator::cscnn(), &ir)
+            .expect_err("dangling edge");
+        assert!(matches!(err, SimError::BadTopology { .. }), "{err}");
+        assert!(err.to_string().contains("LeNet-5"));
+    }
+
+    #[test]
+    fn overlapping_a_linear_chain_changes_nothing_but_reporting() {
+        use cscnn_ir::SparsityAnnotation;
+        let model = catalog::lenet5();
+        let acc = CartesianAccelerator::cscnn();
+        let mc = cscnn_models::ModelCompression::new(model.clone(), acc.scheme());
+        let mut ir = cscnn_models::lower::to_ir(&model);
+        for (i, node) in ir.weight_nodes_mut().enumerate() {
+            node.set_sparsity(SparsityAnnotation {
+                weight_density: mc.profile.weight_density[i],
+                activation_density: mc.profile.activation_density[i],
+            });
+        }
+        let runner = Runner::new(42);
+        let sequential = runner.run_ir(&acc, &ir).expect("annotated IR");
+        let sched = runner
+            .run_ir_overlapped(&acc, &ir, 4)
+            .expect("annotated IR overlaps");
+        assert_eq!(sched.run.total_cycles(), sequential.total_cycles());
+        assert_eq!(sched.run.total_on_chip_pj(), sequential.total_on_chip_pj());
+        let seq = sched.sequential_time_s();
+        assert!(
+            (sched.makespan_s - seq).abs() <= 1e-12 * seq,
+            "no branches to overlap"
+        );
+        let err = runner
+            .run_ir_overlapped(&acc, &ir, 0)
+            .expect_err("zero sub-arrays");
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Branch-overlap scheduling of DAG-shaped IRs across PE sub-arrays.
+//!
+//! A DAG model (`cscnn_ir::ModelIr` with explicit edges) exposes
+//! independent branches — the four paths of an Inception module, a
+//! residual block's main path and projection shortcut — that a partitioned
+//! accelerator can execute concurrently. This module takes the per-node
+//! results of a sequential simulation ([`crate::Runner::run_ir`]) and
+//! list-schedules them over `sub_arrays` identical PE sub-arrays,
+//! respecting data dependences. Per-node cycle/energy numbers are *not*
+//! re-simulated: overlap is purely a scheduling property, so the per-layer
+//! stats stay bit-identical to sequential execution and only the reported
+//! makespan reflects branch concurrency (`docs/simulator.md`).
+//!
+//! The schedule is deterministic: nodes are visited in the IR's (validated
+//! topological) list order, each timed node starts at the later of its
+//! data-ready time and the earliest sub-array's free time, and ties
+//! between sub-arrays keep the lowest index.
+
+use cscnn_ir::ModelIr;
+
+use crate::report::RunStats;
+
+/// Where and when one timed node ran in an overlapped schedule.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// The node's index in the IR's node list.
+    pub node: usize,
+    /// The node's layer name.
+    pub name: String,
+    /// Which PE sub-array executed it.
+    pub sub_array: usize,
+    /// Start time in seconds (relative to the model's start).
+    pub start_s: f64,
+    /// Finish time in seconds.
+    pub finish_s: f64,
+}
+
+cscnn_json::impl_to_json!(Placement {
+    node,
+    name,
+    sub_array,
+    start_s,
+    finish_s,
+});
+
+/// Results of an overlapped run: the sequential per-node stats plus the
+/// schedule that overlaps independent branches.
+#[derive(Clone, Debug)]
+pub struct ScheduleStats {
+    /// The underlying sequential simulation — bit-identical to
+    /// [`crate::Runner::run_ir`] on the same IR.
+    pub run: RunStats,
+    /// How many PE sub-arrays the schedule used.
+    pub sub_arrays: usize,
+    /// End-to-end latency of the overlapped schedule in seconds.
+    pub makespan_s: f64,
+    /// Per-timed-node placements, in node-list order.
+    pub placements: Vec<Placement>,
+}
+
+cscnn_json::impl_to_json!(ScheduleStats {
+    run,
+    sub_arrays,
+    makespan_s,
+    placements,
+});
+
+impl ScheduleStats {
+    /// The sequential latency the overlap is measured against: the sum of
+    /// every timed node's latency, exactly as [`RunStats::total_time_s`]
+    /// reports it.
+    pub fn sequential_time_s(&self) -> f64 {
+        self.run.total_time_s()
+    }
+
+    /// Speedup of the overlapped makespan over sequential execution
+    /// (`≥ 1` up to rounding; `1` exactly for linear chains).
+    pub fn overlap_speedup(&self) -> f64 {
+        self.sequential_time_s() / self.makespan_s
+    }
+}
+
+/// List-schedules `run`'s per-node latencies over `sub_arrays` machines,
+/// honoring `ir`'s dependence edges.
+///
+/// `run.layers` must hold the timed nodes of `ir` in node-list order — the
+/// invariant [`crate::Runner::run_ir`] establishes. Untimed nodes (pools,
+/// joins, …) take zero time and occupy no sub-array; they finish the
+/// moment their last predecessor does.
+pub(crate) fn overlap(ir: &ModelIr, run: RunStats, sub_arrays: usize) -> ScheduleStats {
+    debug_assert!(sub_arrays > 0);
+    let mut finish = vec![0.0f64; ir.nodes.len()];
+    let mut free = vec![0.0f64; sub_arrays];
+    let mut placements = Vec::with_capacity(run.layers.len());
+    let mut layers = run.layers.iter();
+    for (i, node) in ir.nodes.iter().enumerate() {
+        let ready = ir
+            .predecessors(i)
+            .iter()
+            .map(|&p| finish[p])
+            .fold(0.0f64, f64::max);
+        if cscnn_models::lower::layer_desc(node).is_none() {
+            finish[i] = ready;
+            continue;
+        }
+        let stats = layers
+            .next()
+            .expect("run.layers holds one entry per timed node");
+        // The sub-array giving the earliest start; strict `<` keeps the
+        // lowest index on ties, so the schedule is deterministic and a
+        // chain with no runnable siblings stays on one sub-array.
+        let mut m = 0;
+        for j in 1..free.len() {
+            if ready.max(free[j]) < ready.max(free[m]) {
+                m = j;
+            }
+        }
+        let start = ready.max(free[m]);
+        finish[i] = start + stats.time_s;
+        free[m] = finish[i];
+        placements.push(Placement {
+            node: i,
+            name: stats.name.clone(),
+            sub_array: m,
+            start_s: start,
+            finish_s: finish[i],
+        });
+    }
+    let makespan_s = finish.iter().copied().fold(0.0f64, f64::max);
+    ScheduleStats {
+        run,
+        sub_arrays,
+        makespan_s,
+        placements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::LayerStats;
+    use cscnn_ir::{IrBuilder, LayerNode};
+
+    /// stem → (left, right) → add → head: two independent 3×3 convs.
+    fn diamond_ir() -> ModelIr {
+        let mut b = IrBuilder::new("diamond");
+        let stem = b.push(LayerNode::conv("stem", 3, 8, 3, 3, 8, 8, 1, 1));
+        let left = b.push_after(LayerNode::conv("left", 8, 8, 3, 3, 8, 8, 1, 1), &[stem]);
+        let right = b.push_after(LayerNode::conv("right", 8, 8, 3, 3, 8, 8, 1, 1), &[stem]);
+        let join = b.push_after(LayerNode::add("add"), &[left, right]);
+        b.push_after(LayerNode::conv("head", 8, 8, 3, 3, 8, 8, 1, 1), &[join]);
+        b.finish().expect("diamond is valid")
+    }
+
+    fn run_for(ir: &ModelIr, times: &[(&str, f64)]) -> RunStats {
+        RunStats {
+            accelerator: "test".into(),
+            model: ir.name.clone(),
+            layers: times
+                .iter()
+                .map(|&(name, t)| LayerStats {
+                    name: name.into(),
+                    time_s: t,
+                    ..Default::default()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn independent_branches_overlap() {
+        let ir = diamond_ir();
+        let run = run_for(
+            &ir,
+            &[("stem", 1.0), ("left", 2.0), ("right", 3.0), ("head", 1.0)],
+        );
+        let s = overlap(&ir, run, 2);
+        // stem 0–1, left 1–3 on array 0, right 1–4 on array 1, head 4–5.
+        assert_eq!(s.makespan_s, 5.0);
+        assert_eq!(s.sequential_time_s(), 7.0);
+        assert!(s.overlap_speedup() > 1.0);
+        assert_eq!(s.placements.len(), 4, "joins occupy no sub-array");
+        let right = &s.placements[2];
+        assert_eq!((right.name.as_str(), right.sub_array), ("right", 1));
+        assert_eq!((right.start_s, right.finish_s), (1.0, 4.0));
+    }
+
+    #[test]
+    fn one_sub_array_serializes_the_branches() {
+        let ir = diamond_ir();
+        let run = run_for(
+            &ir,
+            &[("stem", 1.0), ("left", 2.0), ("right", 3.0), ("head", 1.0)],
+        );
+        let s = overlap(&ir, run, 1);
+        assert_eq!(s.makespan_s, 7.0);
+        assert_eq!(s.overlap_speedup(), 1.0);
+    }
+
+    #[test]
+    fn linear_chains_gain_nothing_from_more_arrays() {
+        let mut b = IrBuilder::new("line");
+        let a = b.push(LayerNode::conv("a", 3, 8, 3, 3, 8, 8, 1, 1));
+        b.push_after(LayerNode::conv("b", 8, 8, 3, 3, 8, 8, 1, 1), &[a]);
+        let ir = b.finish().expect("line is valid");
+        let run = run_for(&ir, &[("a", 2.0), ("b", 3.0)]);
+        let s = overlap(&ir, run, 4);
+        assert_eq!(s.makespan_s, 5.0);
+        // Both nodes land on sub-array 0 (ties keep the lowest index).
+        assert!(s.placements.iter().all(|p| p.sub_array == 0));
+    }
+}
