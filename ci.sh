@@ -29,8 +29,19 @@ for seed in 1 17 4242; do
     CSCNN_PROP_SEED="$seed" cargo test -q -p cscnn \
         --test property_ir_topology \
         --test property_simulator \
-        --test property_invariants
+        --test property_invariants \
+        --test property_kernels
 done
+
+echo "== kernel determinism across thread counts"
+for threads in 1 4; do
+    echo "-- CSCNN_NUM_THREADS=$threads"
+    CSCNN_NUM_THREADS="$threads" cargo test -q -p cscnn \
+        --test property_kernels
+done
+
+echo "== kernels bench smoke run (schema check)"
+cargo run -q --release -p cscnn-bench --bin kernels -- --smoke
 
 echo "== cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -7,8 +7,10 @@
 //! weight fibers (the centrosymmetric unique half when the layer is
 //! constrained), actual activation coordinates, the CCU's dual-coordinate
 //! scatter, halo-plane accumulation and cropping — and the remaining
-//! layers through the reference kernels, producing logits that must equal
-//! `Network::forward` exactly (up to f32 accumulation-order noise).
+//! layers through `Layer::forward`, i.e. the blocked multithreaded CPU
+//! kernels of `cscnn_tensor::kernels` (bit-identical to the naive
+//! reference kernels at any thread count), producing logits that must
+//! equal `Network::forward` exactly (up to f32 accumulation-order noise).
 //!
 //! This is the reproduction's stand-in for the paper's RTL prototype
 //! correctness argument.

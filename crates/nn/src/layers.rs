@@ -10,8 +10,8 @@ use cscnn_ir::{ActivationKind, DescribeError, LayerNode, PoolKind};
 use cscnn_rng::Rng;
 use cscnn_sparse::centro;
 use cscnn_tensor::{
-    conv2d_grouped, conv2d_grouped_backward, kaiming_uniform, matmul, matmul_at, matmul_bt,
-    max_pool2d, max_pool2d_backward, ConvSpec, PoolSpec, Tensor,
+    kaiming_uniform, matmul, matmul_at, matmul_bt, max_pool2d, max_pool2d_backward, ConvScratch,
+    ConvSpec, PoolSpec, Tensor,
 };
 
 /// A trainable parameter: value, gradient accumulator, and an optional
@@ -133,6 +133,9 @@ pub struct Conv2d {
     bias: Param,
     centrosymmetric: bool,
     cached_input: Option<Tensor>,
+    /// Reusable im2col arena: the backward pass reuses the forward pass's
+    /// lowering, and repeated steps at a fixed geometry stop allocating.
+    scratch: ConvScratch,
 }
 
 impl Conv2d {
@@ -184,6 +187,7 @@ impl Conv2d {
             bias: Param::new(Tensor::zeros(&[out_channels])),
             centrosymmetric: false,
             cached_input: None,
+            scratch: ConvScratch::new(),
         }
     }
 
@@ -244,7 +248,7 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.cached_input = Some(input.clone());
-        conv2d_grouped(
+        self.scratch.forward(
             input,
             &self.weight.value,
             &self.bias.value,
@@ -258,7 +262,9 @@ impl Layer for Conv2d {
             .cached_input
             .take()
             .expect("backward called before forward");
-        let grads = conv2d_grouped_backward(
+        // The scratch recognizes the input cached at forward time and
+        // reuses that lowering — one im2col per training step, not two.
+        let grads = self.scratch.backward(
             &input,
             &self.weight.value,
             grad_out,

@@ -240,13 +240,18 @@ pub struct BatchRunner {
 }
 
 impl BatchRunner {
-    /// Creates a batched intake over `runner`, with one worker per
-    /// available CPU (falling back to 4 when parallelism cannot be
+    /// Creates a batched intake over `runner`, sized by
+    /// [`crate::util::configured_workers`]: the validated
+    /// `CSCNN_NUM_THREADS` environment variable when set (one knob for
+    /// both the tensor kernels and the simulation pool), else one worker
+    /// per available CPU (falling back to 4 when parallelism cannot be
     /// queried). Results never depend on the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `CSCNN_NUM_THREADS` is set but invalid.
     pub fn new(runner: Runner) -> Self {
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4);
+        let workers = crate::util::configured_workers();
         BatchRunner {
             runner,
             workers,

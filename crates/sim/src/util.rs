@@ -154,6 +154,38 @@ fn u64_from_f64(x: f64, what: &str) -> u64 {
     }
 }
 
+/// Default worker-pool size for batched simulation: the validated
+/// `CSCNN_NUM_THREADS` environment variable when set (the same knob that
+/// sizes the tensor-kernel thread pool in `cscnn-tensor`, so one setting
+/// covers both halves of the system), else the machine's available
+/// parallelism, else 4. Worker counts never affect results — batching is
+/// bit-identical to sequential simulation by construction.
+///
+/// # Panics
+///
+/// Panics if `CSCNN_NUM_THREADS` is set to anything other than an integer
+/// in `1..=512` (a typo should fail loudly, not silently serialize).
+pub fn configured_workers() -> usize {
+    const MAX_THREADS: usize = 512;
+    match std::env::var("CSCNN_NUM_THREADS") {
+        Ok(raw) => {
+            let parsed = raw
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|n| (1..=MAX_THREADS).contains(n));
+            assert!(
+                parsed.is_some(),
+                "CSCNN_NUM_THREADS must be an integer in 1..={MAX_THREADS}, got `{raw}`"
+            );
+            parsed.unwrap_or(1)
+        }
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4),
+    }
+}
+
 /// Fixed-order compensated summation (Neumaier's variant of Kahan).
 ///
 /// Float addition is not associative, so an unordered `.sum::<f64>()` is a

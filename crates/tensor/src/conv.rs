@@ -2,8 +2,28 @@
 //!
 //! Tensor layouts follow the paper's notation (§II-A): inputs are
 //! `[N, C, H, W]`, filters are `[K, C, R, S]`, outputs are `[N, K, H', W']`.
+//!
+//! # Lowering architecture
+//!
+//! All convolution entry points run over a [`ConvLowering`]: the input is
+//! lowered **once** into a block-contiguous im2col buffer holding one
+//! `[C/g·R·S, H'·W']` column block per `(batch item, group)` task, and
+//! both the forward GEMMs and all three backward GEMMs read from that
+//! single buffer. [`ConvScratch`] keeps the lowering (and its allocation)
+//! alive across calls so a forward/backward pair — or repeated training
+//! steps at a fixed geometry — lowers each input exactly once and never
+//! reallocates. The GEMMs themselves are the cache-blocked multithreaded
+//! kernels in [`crate::kernels`]; when a batch offers enough
+//! `(item × group)` tasks the work is parallelized across tasks instead
+//! (whole output chunks per thread), which keeps every output element
+//! single-writer.
+//!
+//! Results are **bit-identical** to the naive per-item / per-group
+//! reference implementations in [`crate::reference`] at every thread
+//! count; see `docs/kernels.md` for why the accumulation orders match.
 
-use crate::{matmul, matmul_at, matmul_bt, Tensor};
+use crate::kernels::{self, Lhs, Rhs};
+use crate::{reference, threads, Tensor};
 
 /// Static description of a convolution: filter geometry, stride and padding.
 ///
@@ -96,22 +116,345 @@ pub struct Conv2dGrads {
     pub bias: Tensor,
 }
 
-/// Lowers one batch item to a `[C·R·S, H'·W']` column matrix.
-fn im2col(input: &Tensor, n: usize, spec: &ConvSpec) -> Tensor {
-    let dims = input.shape().dims();
-    let (c, h, w) = (dims[1], dims[2], dims[3]);
-    let (oh, ow) = spec.output_dim(h, w);
-    let rows = c * spec.kernel_h * spec.kernel_w;
+/// Cap on the transient per-task partial-gradient buffer (in f32 slots,
+/// 64 Mi ≈ 256 MB) that the task-parallel backward path may allocate;
+/// above it the backward falls back to the sequential-tasks path whose
+/// GEMMs are internally parallel instead.
+const PART_BUDGET_FLOATS: usize = 1 << 26;
+
+/// One input tensor lowered to im2col form — the shared artifact of
+/// satellite concern "don't lower the same input twice".
+///
+/// The buffer holds `N·groups` contiguous blocks in `(item, group)`-major
+/// order; block `(ni, g)` is the `[C/g·R·S, H'·W']` column matrix of batch
+/// item `ni` restricted to input-channel group `g`. [`ConvLowering::forward`]
+/// and [`ConvLowering::backward`] both consume it, so callers that keep the
+/// lowering around (directly, or via [`ConvScratch`]) pay the im2col cost
+/// once per input instead of once per direction.
+///
+/// # Example
+///
+/// ```
+/// use cscnn_tensor::{ConvLowering, ConvSpec, Tensor};
+///
+/// let spec = ConvSpec::new(3, 3).with_padding(1);
+/// let input = Tensor::full(&[2, 4, 8, 8], 0.5);
+/// let weight = Tensor::full(&[6, 4, 3, 3], 0.1);
+/// let bias = Tensor::zeros(&[6]);
+/// let lowering = ConvLowering::lower(&input, &spec, 1);
+/// let out = lowering.forward(&weight, &bias);          // uses the lowering
+/// let grad = Tensor::full(out.shape().dims(), 1.0);
+/// let grads = lowering.backward(&weight, &grad);       // reuses it — no re-lower
+/// assert_eq!(grads.input.shape().dims(), &[2, 4, 8, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvLowering {
+    /// `n·groups` blocks of `rows_g·cols_len` each, `(item, group)`-major.
+    cols: Vec<f32>,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    groups: usize,
+    oh: usize,
+    ow: usize,
+    spec: ConvSpec,
+}
+
+impl ConvLowering {
+    /// Lowers `input` (`[N, C, H, W]`) for a convolution with `spec` and
+    /// `groups` input-channel groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not rank 4, `groups` is zero or does not
+    /// divide `C`, or the padded input is smaller than the kernel.
+    pub fn lower(input: &Tensor, spec: &ConvSpec, groups: usize) -> Self {
+        let mut lowering = ConvLowering {
+            cols: Vec::new(),
+            n: 0,
+            c: 0,
+            h: 0,
+            w: 0,
+            groups: 1,
+            oh: 0,
+            ow: 0,
+            spec: *spec,
+        };
+        lowering.lower_into(input, spec, groups);
+        lowering
+    }
+
+    /// Re-lowers into `self`, reusing the column buffer's allocation when
+    /// the geometry still fits. Semantically identical to replacing `self`
+    /// with [`ConvLowering::lower`]`(input, spec, groups)`.
+    ///
+    /// # Panics
+    ///
+    /// As [`ConvLowering::lower`].
+    pub fn lower_into(&mut self, input: &Tensor, spec: &ConvSpec, groups: usize) {
+        let (n, c, h, w) = dims4(input, "conv lowering input");
+        assert!(groups > 0, "groups must be positive");
+        assert!(c % groups == 0, "groups={groups} must divide C={c}");
+        let (oh, ow) = spec.output_dim(h, w);
+        let cg = c / groups;
+        let rows_g = cg * spec.kernel_h * spec.kernel_w;
+        let cols_len = oh * ow;
+        let total = n * groups * rows_g * cols_len;
+        self.cols.clear();
+        self.cols.resize(total, 0.0);
+        (self.n, self.c, self.h, self.w) = (n, c, h, w);
+        self.groups = groups;
+        (self.oh, self.ow) = (oh, ow);
+        self.spec = *spec;
+        let src = input.as_slice();
+        let block_len = rows_g * cols_len;
+        let t = threads::num_threads();
+        let spec = *spec;
+        kernels::parallel_chunks(&mut self.cols, block_len, t, |task, block| {
+            let (ni, g) = (task / groups, task % groups);
+            let base = (ni * c + g * cg) * h * w;
+            im2col_block(block, src, base, cg, h, w, &spec, oh, ow);
+        });
+    }
+
+    /// The `(ni, g)` column block, `[C/g·R·S, H'·W']` row-major.
+    fn block(&self, ni: usize, g: usize) -> &[f32] {
+        let cg = self.c / self.groups;
+        let block_len = cg * self.spec.kernel_h * self.spec.kernel_w * self.oh * self.ow;
+        let at = (ni * self.groups + g) * block_len;
+        &self.cols[at..at + block_len]
+    }
+
+    /// Validates `weight` against the lowered geometry, returning
+    /// `(k, kg, rows_g, cols_len)`.
+    fn weight_geometry(&self, weight: &Tensor, what: &str) -> (usize, usize, usize, usize) {
+        let (k, wc, wr, ws) = dims4(weight, what);
+        let cg = self.c / self.groups;
+        assert_eq!(wc, cg, "weight C={wc} must be C/groups={cg}");
+        assert_eq!(
+            (wr, ws),
+            (self.spec.kernel_h, self.spec.kernel_w),
+            "weight spatial dims disagree with spec"
+        );
+        assert!(
+            k % self.groups == 0,
+            "groups={} must divide K={k}",
+            self.groups
+        );
+        (k, k / self.groups, cg * wr * ws, self.oh * self.ow)
+    }
+
+    /// Forward convolution over the lowered input: `[N, K, H', W']`.
+    ///
+    /// `weight` is `[K, C/groups, R, S]`, `bias` is `[K]`. Bit-identical
+    /// to [`crate::reference::conv2d_grouped`] on the lowered input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight`/`bias` disagree with the lowered geometry.
+    pub fn forward(&self, weight: &Tensor, bias: &Tensor) -> Tensor {
+        let (k, kg, rows_g, cols_len) = self.weight_geometry(weight, "conv2d weight");
+        assert_eq!(bias.len(), k, "bias length must equal K={k}");
+        let (n, groups) = (self.n, self.groups);
+        let mut out = Tensor::zeros(&[n, k, self.oh, self.ow]);
+        let wv = weight.as_slice();
+        let bias_v = bias.as_slice();
+        let tasks = n * groups;
+        let chunk = kg * cols_len;
+        let t = threads::num_threads();
+        // Each (item, group) task owns the contiguous output chunk
+        // [ni, g·kg..(g+1)·kg, :, :]; with enough tasks, parallelize
+        // across them (serial GEMM per task), otherwise run the tasks
+        // sequentially with internally parallel GEMMs. Both schedules
+        // compute every element with the same reduction order.
+        let task_parallel = t > 1 && tasks >= t;
+        let run = |task: usize, dst: &mut [f32], budget: usize| {
+            let (ni, g) = (task / groups, task % groups);
+            let wg = &wv[g * kg * rows_g..(g + 1) * kg * rows_g];
+            let col = self.block(ni, g);
+            kernels::gemm_with_threads(
+                Lhs::RowMajor,
+                Rhs::RowMajor,
+                wg,
+                col,
+                kg,
+                rows_g,
+                cols_len,
+                dst,
+                budget,
+            );
+            for kl in 0..kg {
+                let b = bias_v[g * kg + kl];
+                for d in &mut dst[kl * cols_len..(kl + 1) * cols_len] {
+                    *d += b;
+                }
+            }
+        };
+        if task_parallel {
+            kernels::parallel_chunks(out.as_mut_slice(), chunk, t, |task, dst| {
+                run(task, dst, 1);
+            });
+        } else {
+            let dst = out.as_mut_slice();
+            for task in 0..tasks {
+                run(task, &mut dst[task * chunk..(task + 1) * chunk], t);
+            }
+        }
+        out
+    }
+
+    /// Backward convolution over the lowered input (no re-lowering).
+    ///
+    /// `weight` is `[K, C/groups, R, S]`; `grad_out` is `[N, K, H', W']`.
+    /// Bit-identical to [`crate::reference::conv2d_grouped_backward`] on
+    /// the lowered input: per-task partial gradients are reduced in
+    /// ascending batch order within each group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight`/`grad_out` disagree with the lowered geometry.
+    pub fn backward(&self, weight: &Tensor, grad_out: &Tensor) -> Conv2dGrads {
+        let (k, kg, rows_g, cols_len) = self.weight_geometry(weight, "conv2d_backward weight");
+        let (n, c, h, w, groups) = (self.n, self.c, self.h, self.w, self.groups);
+        let cg = c / groups;
+        assert_eq!(
+            grad_out.shape().dims(),
+            &[n, k, self.oh, self.ow],
+            "grad_out shape mismatch"
+        );
+        let mut d_input = Tensor::zeros(&[n, c, h, w]);
+        let mut d_weight = vec![0.0f32; k * rows_g];
+        let mut d_bias = vec![0.0f32; k];
+        let gov = grad_out.as_slice();
+        let wv = weight.as_slice();
+        let tasks = n * groups;
+        // Per-task partials: a [kg, rows_g] dW block followed by kg dBias
+        // slots. Kept out of the shared gradients so the parallel path can
+        // reduce them in the exact order the sequential path uses.
+        let part_len = kg * rows_g + kg;
+        let spec = self.spec;
+        let t = threads::num_threads();
+        let compute =
+            |task: usize, din: &mut [f32], dw_part: &mut [f32], db_part: &mut [f32], budget| {
+                let (ni, g) = (task / groups, task % groups);
+                let goslab = &gov[(ni * k + g * kg) * cols_len..(ni * k + (g + 1) * kg) * cols_len];
+                let wg = &wv[g * kg * rows_g..(g + 1) * kg * rows_g];
+                let col = self.block(ni, g);
+                // dW part = dOut · colᵀ (reference: matmul_bt(go, col)).
+                kernels::gemm_with_threads(
+                    Lhs::RowMajor,
+                    Rhs::Transposed,
+                    goslab,
+                    col,
+                    kg,
+                    cols_len,
+                    rows_g,
+                    dw_part,
+                    budget,
+                );
+                // dCol = Wᵀ · dOut (reference: matmul_at(w, go)), scattered
+                // back into this task's disjoint d_input chunk.
+                let mut d_col = vec![0.0f32; rows_g * cols_len];
+                kernels::gemm_with_threads(
+                    Lhs::Transposed,
+                    Rhs::RowMajor,
+                    wg,
+                    goslab,
+                    rows_g,
+                    kg,
+                    cols_len,
+                    &mut d_col,
+                    budget,
+                );
+                col2im_block(&d_col, din, cg, h, w, &spec, self.oh, self.ow);
+                // dBias part = row sums of dOut, in the reference's order.
+                for (kl, db) in db_part.iter_mut().enumerate() {
+                    let s: f32 = goslab[kl * cols_len..(kl + 1) * cols_len].iter().sum();
+                    *db = s;
+                }
+            };
+        let din_chunk = cg * h * w;
+        if t > 1 && tasks >= t && tasks * part_len <= PART_BUDGET_FLOATS {
+            let mut parts = vec![0.0f32; tasks * part_len];
+            kernels::parallel_chunk_pairs(
+                d_input.as_mut_slice(),
+                din_chunk,
+                &mut parts,
+                part_len,
+                t,
+                |task, din, part| {
+                    let (dw_part, db_part) = part.split_at_mut(kg * rows_g);
+                    compute(task, din, dw_part, db_part, 1);
+                },
+            );
+            for (task, part) in parts.chunks(part_len).enumerate() {
+                reduce_part(task, part, groups, kg, rows_g, &mut d_weight, &mut d_bias);
+            }
+        } else {
+            let din = d_input.as_mut_slice();
+            let mut part = vec![0.0f32; part_len];
+            for task in 0..tasks {
+                part.fill(0.0);
+                let (dw_part, db_part) = part.split_at_mut(kg * rows_g);
+                let chunk = &mut din[task * din_chunk..(task + 1) * din_chunk];
+                compute(task, chunk, dw_part, db_part, t);
+                reduce_part(task, &part, groups, kg, rows_g, &mut d_weight, &mut d_bias);
+            }
+        }
+        Conv2dGrads {
+            input: d_input,
+            weight: Tensor::from_vec(d_weight, &[k, cg, self.spec.kernel_h, self.spec.kernel_w]),
+            bias: Tensor::from_vec(d_bias, &[k]),
+        }
+    }
+}
+
+/// Folds one task's `(dW part, dBias part)` into the shared gradients.
+/// Called in ascending task order, which is ascending batch order within
+/// each group — the reference reduction order.
+fn reduce_part(
+    task: usize,
+    part: &[f32],
+    groups: usize,
+    kg: usize,
+    rows_g: usize,
+    d_weight: &mut [f32],
+    d_bias: &mut [f32],
+) {
+    let g = task % groups;
+    let (dw_part, db_part) = part.split_at(kg * rows_g);
+    let dw = &mut d_weight[g * kg * rows_g..(g + 1) * kg * rows_g];
+    for (d, &p) in dw.iter_mut().zip(dw_part) {
+        *d += p;
+    }
+    let db = &mut d_bias[g * kg..(g + 1) * kg];
+    for (d, &p) in db.iter_mut().zip(db_part) {
+        *d += p;
+    }
+}
+
+/// Lowers channels `[0, cg)` at flat offset `base` of an image into a
+/// (pre-zeroed) `[cg·R·S, H'·W']` column block.
+#[allow(clippy::too_many_arguments)]
+fn im2col_block(
+    block: &mut [f32],
+    src: &[f32],
+    base: usize,
+    cg: usize,
+    h: usize,
+    w: usize,
+    spec: &ConvSpec,
+    oh: usize,
+    ow: usize,
+) {
     let cols = oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
-    let src = input.as_slice();
-    let base = n * c * h * w;
     let pad = spec.padding as isize;
-    for ci in 0..c {
+    for ci in 0..cg {
         for r in 0..spec.kernel_h {
             for s in 0..spec.kernel_w {
                 let row = (ci * spec.kernel_h + r) * spec.kernel_w + s;
-                let out_row = &mut out[row * cols..(row + 1) * cols];
+                let out_row = &mut block[row * cols..(row + 1) * cols];
                 for oy in 0..oh {
                     let iy = (oy * spec.stride) as isize + r as isize - pad;
                     if iy < 0 || iy >= h as isize {
@@ -129,30 +472,34 @@ fn im2col(input: &Tensor, n: usize, spec: &ConvSpec) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
 }
 
-/// Scatter-adds a `[C·R·S, H'·W']` column-gradient matrix back into image space.
-fn col2im_add(col: &Tensor, grad: &mut Tensor, n: usize, spec: &ConvSpec) {
-    let dims = grad.shape().dims();
-    let (c, h, w) = (dims[1], dims[2], dims[3]);
-    let (oh, ow) = spec.output_dim(h, w);
+/// Scatter-adds a `[cg·R·S, H'·W']` column-gradient block into a
+/// `[cg, H, W]` image chunk.
+#[allow(clippy::too_many_arguments)]
+fn col2im_block(
+    col: &[f32],
+    dst: &mut [f32],
+    cg: usize,
+    h: usize,
+    w: usize,
+    spec: &ConvSpec,
+    oh: usize,
+    ow: usize,
+) {
     let cols = oh * ow;
-    let src = col.as_slice();
-    let base = n * c * h * w;
     let pad = spec.padding as isize;
-    let dst = grad.as_mut_slice();
-    for ci in 0..c {
+    for ci in 0..cg {
         for r in 0..spec.kernel_h {
             for s in 0..spec.kernel_w {
                 let row = (ci * spec.kernel_h + r) * spec.kernel_w + s;
-                let src_row = &src[row * cols..(row + 1) * cols];
+                let src_row = &col[row * cols..(row + 1) * cols];
                 for oy in 0..oh {
                     let iy = (oy * spec.stride) as isize + r as isize - pad;
                     if iy < 0 || iy >= h as isize {
                         continue;
                     }
-                    let dst_row = base + (ci * h + iy as usize) * w;
+                    let dst_row = (ci * h + iy as usize) * w;
                     for ox in 0..ow {
                         let ix = (ox * spec.stride) as isize + s as isize - pad;
                         if ix < 0 || ix >= w as isize {
@@ -166,10 +513,118 @@ fn col2im_add(col: &Tensor, grad: &mut Tensor, n: usize, spec: &ConvSpec) {
     }
 }
 
+/// A reusable convolution arena: keeps the most recent [`ConvLowering`]
+/// (and its buffer) alive across calls.
+///
+/// A forward/backward pair over the same input lowers it exactly once —
+/// the backward call recognizes the input by a content fingerprint and
+/// reuses the forward's lowering; any other input (or geometry) re-lowers
+/// into the existing allocation. `Conv2d` layers own one of these, so a
+/// training step does one im2col per layer instead of two, and steady-state
+/// training stops allocating column buffers entirely.
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    lowering: Option<ConvLowering>,
+    key: Option<u64>,
+}
+
+impl ConvScratch {
+    /// Creates an empty scratch (no buffer held yet).
+    pub fn new() -> Self {
+        ConvScratch::default()
+    }
+
+    /// Ensures `self.lowering` covers `input` with `spec`/`groups`,
+    /// lowering (into the reused buffer) only when the fingerprint or
+    /// geometry changed.
+    fn ensure(&mut self, input: &Tensor, spec: &ConvSpec, groups: usize) -> &ConvLowering {
+        let key = fingerprint(input, spec, groups);
+        if self.key != Some(key) || self.lowering.is_none() {
+            if let Some(lowering) = self.lowering.as_mut() {
+                lowering.lower_into(input, spec, groups);
+            } else {
+                self.lowering = Some(ConvLowering::lower(input, spec, groups));
+            }
+            self.key = Some(key);
+        }
+        // Populated just above; the fallback lower never runs.
+        self.lowering
+            .get_or_insert_with(|| ConvLowering::lower(input, spec, groups))
+    }
+
+    /// Grouped forward convolution through the scratch (use `groups = 1`
+    /// for dense). Results are identical to [`conv2d_grouped`].
+    ///
+    /// # Panics
+    ///
+    /// As [`conv2d_grouped`].
+    pub fn forward(
+        &mut self,
+        input: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        spec: &ConvSpec,
+        groups: usize,
+    ) -> Tensor {
+        if kernels::reference_mode() {
+            return reference::conv2d_grouped(input, weight, bias, spec, groups);
+        }
+        self.ensure(input, spec, groups).forward(weight, bias)
+    }
+
+    /// Grouped backward convolution through the scratch; when the same
+    /// input was just lowered by [`ConvScratch::forward`] the lowering is
+    /// reused. Results are identical to [`conv2d_grouped_backward`].
+    ///
+    /// # Panics
+    ///
+    /// As [`conv2d_grouped_backward`].
+    pub fn backward(
+        &mut self,
+        input: &Tensor,
+        weight: &Tensor,
+        grad_out: &Tensor,
+        spec: &ConvSpec,
+        groups: usize,
+    ) -> Conv2dGrads {
+        if kernels::reference_mode() {
+            return reference::conv2d_grouped_backward(input, weight, grad_out, spec, groups);
+        }
+        self.ensure(input, spec, groups).backward(weight, grad_out)
+    }
+}
+
+/// FNV-1a over the input's contents and the convolution geometry — the
+/// [`ConvScratch`] reuse key. Content-based (not address-based) so reuse
+/// is sound: equal fingerprints mean the existing lowering is valid for
+/// this exact input.
+fn fingerprint(input: &Tensor, spec: &ConvSpec, groups: usize) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        h = (h ^ v).wrapping_mul(PRIME);
+    };
+    for &d in input.shape().dims() {
+        eat(d as u64);
+    }
+    eat(spec.kernel_h as u64);
+    eat(spec.kernel_w as u64);
+    eat(spec.stride as u64);
+    eat(spec.padding as u64);
+    eat(groups as u64);
+    for &v in input.as_slice() {
+        eat(u64::from(v.to_bits()));
+    }
+    h
+}
+
 /// Forward 2-D convolution.
 ///
 /// `input` is `[N, C, H, W]`, `weight` is `[K, C, R, S]`, `bias` is `[K]`;
-/// returns `[N, K, H', W']`.
+/// returns `[N, K, H', W']`. Lowers the input once and runs the blocked
+/// kernels; to share the lowering with the backward pass use
+/// [`ConvLowering`] or [`ConvScratch`] instead of this free function.
 ///
 /// # Panics
 ///
@@ -187,7 +642,7 @@ fn col2im_add(col: &Tensor, grad: &mut Tensor, n: usize, spec: &ConvSpec) {
 /// assert_eq!(out.as_slice(), &[9.0]);
 /// ```
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
-    let (n, c, h, w) = dims4(input, "conv2d input");
+    let (_, c, _, _) = dims4(input, "conv2d input");
     let (k, wc, wr, ws) = dims4(weight, "conv2d weight");
     assert_eq!(c, wc, "channel mismatch: input C={c}, weight C={wc}");
     assert_eq!(
@@ -196,33 +651,18 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
         "weight spatial dims disagree with spec"
     );
     assert_eq!(bias.len(), k, "bias length must equal K={k}");
-    let (oh, ow) = spec.output_dim(h, w);
-    let w_mat = weight.reshape(&[k, c * wr * ws]);
-    let mut out = Tensor::zeros(&[n, k, oh, ow]);
-    let bias_v = bias.as_slice();
-    for ni in 0..n {
-        let col = im2col(input, ni, spec);
-        let res = matmul(&w_mat, &col); // [K, oh*ow]
-        let dst = out.as_mut_slice();
-        let base = ni * k * oh * ow;
-        for ki in 0..k {
-            let src = &res.as_slice()[ki * oh * ow..(ki + 1) * oh * ow];
-            let b = bias_v[ki];
-            for (d, &s) in dst[base + ki * oh * ow..base + (ki + 1) * oh * ow]
-                .iter_mut()
-                .zip(src)
-            {
-                *d = s + b;
-            }
-        }
+    if kernels::reference_mode() {
+        return reference::conv2d(input, weight, bias, spec);
     }
-    out
+    ConvLowering::lower(input, spec, 1).forward(weight, bias)
 }
 
 /// Backward 2-D convolution: gradients w.r.t. input, weight and bias.
 ///
 /// `grad_out` must be `[N, K, H', W']` for the same `input`/`weight`/`spec`
-/// that produced the forward output.
+/// that produced the forward output. This free function lowers the input
+/// itself; pair it with [`ConvLowering`]/[`ConvScratch`] to reuse the
+/// forward pass's lowering instead.
 ///
 /// # Panics
 ///
@@ -233,74 +673,10 @@ pub fn conv2d_backward(
     grad_out: &Tensor,
     spec: &ConvSpec,
 ) -> Conv2dGrads {
-    let (n, c, h, w) = dims4(input, "conv2d_backward input");
-    let (k, _, wr, ws) = dims4(weight, "conv2d_backward weight");
-    let (oh, ow) = spec.output_dim(h, w);
-    assert_eq!(
-        grad_out.shape().dims(),
-        &[n, k, oh, ow],
-        "grad_out shape mismatch"
-    );
-    let w_mat = weight.reshape(&[k, c * wr * ws]);
-    let mut d_input = Tensor::zeros(&[n, c, h, w]);
-    let mut d_weight = Tensor::zeros(&[k, c * wr * ws]);
-    let mut d_bias = Tensor::zeros(&[k]);
-    for ni in 0..n {
-        let col = im2col(input, ni, spec);
-        let go = Tensor::from_vec(
-            grad_out.as_slice()[ni * k * oh * ow..(ni + 1) * k * oh * ow].to_vec(),
-            &[k, oh * ow],
-        );
-        // dW += dOut · colᵀ
-        d_weight.axpy(1.0, &matmul_bt(&go, &col));
-        // dCol = Wᵀ · dOut, scattered back to image space.
-        let d_col = matmul_at(&w_mat, &go);
-        col2im_add(&d_col, &mut d_input, ni, spec);
-        // dBias += row sums of dOut.
-        for ki in 0..k {
-            let s: f32 = go.as_slice()[ki * oh * ow..(ki + 1) * oh * ow].iter().sum();
-            d_bias.as_mut_slice()[ki] += s;
-        }
+    if kernels::reference_mode() {
+        return reference::conv2d_backward(input, weight, grad_out, spec);
     }
-    Conv2dGrads {
-        input: d_input,
-        weight: d_weight.reshape(&[k, c, wr, ws]),
-        bias: d_bias,
-    }
-}
-
-/// Copies `count` channels starting at `start` out of a `[N, C, H, W]`
-/// tensor into a dense `[N, count, H, W]` tensor.
-fn take_channels(t: &Tensor, start: usize, count: usize) -> Tensor {
-    let (n, c, h, w) = dims4(t, "take_channels");
-    assert!(start + count <= c, "channel slice out of range");
-    let plane = h * w;
-    let mut out = Tensor::zeros(&[n, count, h, w]);
-    let src = t.as_slice();
-    let dst = out.as_mut_slice();
-    for ni in 0..n {
-        let s0 = (ni * c + start) * plane;
-        let d0 = ni * count * plane;
-        dst[d0..d0 + count * plane].copy_from_slice(&src[s0..s0 + count * plane]);
-    }
-    out
-}
-
-/// Writes a `[N, count, H, W]` tensor into the channel window starting at
-/// `start` of a `[N, C, H, W]` tensor (plain copy — groups are disjoint).
-fn put_channels(dst_t: &mut Tensor, src_t: &Tensor, start: usize) {
-    let (n, c, h, w) = dims4(dst_t, "put_channels dst");
-    let (sn, count, sh, sw) = dims4(src_t, "put_channels src");
-    assert!(sn == n && sh == h && sw == w, "spatial/batch mismatch");
-    assert!(start + count <= c, "channel slice out of range");
-    let plane = h * w;
-    let src = src_t.as_slice();
-    let dst = dst_t.as_mut_slice();
-    for ni in 0..n {
-        let d0 = (ni * c + start) * plane;
-        let s0 = ni * count * plane;
-        dst[d0..d0 + count * plane].copy_from_slice(&src[s0..s0 + count * plane]);
-    }
+    ConvLowering::lower(input, spec, 1).backward(weight, grad_out)
 }
 
 /// Forward grouped 2-D convolution (`groups == C` is depthwise).
@@ -308,7 +684,8 @@ fn put_channels(dst_t: &mut Tensor, src_t: &Tensor, start: usize) {
 /// `input` is `[N, C, H, W]`, `weight` is `[K, C/groups, R, S]`, `bias` is
 /// `[K]`; returns `[N, K, H', W']`. With `groups == 1` this is exactly
 /// [`conv2d`]. Filters `K/groups·g .. K/groups·(g+1)` see only input
-/// channels `C/groups·g .. C/groups·(g+1)`.
+/// channels `C/groups·g .. C/groups·(g+1)`. All groups are lowered into
+/// one fused buffer and the `(batch × group)` tasks run in parallel.
 ///
 /// # Panics
 ///
@@ -325,31 +702,24 @@ pub fn conv2d_grouped(
     if groups == 1 {
         return conv2d(input, weight, bias, spec);
     }
-    let (n, c, h, w) = dims4(input, "conv2d_grouped input");
+    let (_, c, _, _) = dims4(input, "conv2d_grouped input");
     let (k, wc, wr, ws) = dims4(weight, "conv2d_grouped weight");
     assert!(
         c % groups == 0 && k % groups == 0,
         "groups={groups} must divide C={c} and K={k}"
     );
     let cg = c / groups;
-    let kg = k / groups;
     assert_eq!(wc, cg, "weight C={wc} must be C/groups={cg}");
+    assert_eq!(
+        (wr, ws),
+        (spec.kernel_h, spec.kernel_w),
+        "weight spatial dims disagree with spec"
+    );
     assert_eq!(bias.len(), k, "bias length must equal K={k}");
-    let (oh, ow) = spec.output_dim(h, w);
-    let mut out = Tensor::zeros(&[n, k, oh, ow]);
-    let slab = kg * cg * wr * ws;
-    for g in 0..groups {
-        let gi = take_channels(input, g * cg, cg);
-        // Filters of one group are a contiguous [kg, cg, R, S] slab.
-        let gw = Tensor::from_vec(
-            weight.as_slice()[g * slab..(g + 1) * slab].to_vec(),
-            &[kg, cg, wr, ws],
-        );
-        let gb = Tensor::from_vec(bias.as_slice()[g * kg..(g + 1) * kg].to_vec(), &[kg]);
-        let go = conv2d(&gi, &gw, &gb, spec);
-        put_channels(&mut out, &go, g * kg);
+    if kernels::reference_mode() {
+        return reference::conv2d_grouped(input, weight, bias, spec, groups);
     }
-    out
+    ConvLowering::lower(input, spec, groups).forward(weight, bias)
 }
 
 /// Backward grouped 2-D convolution: gradients w.r.t. input, weight and
@@ -369,42 +739,18 @@ pub fn conv2d_grouped_backward(
     if groups == 1 {
         return conv2d_backward(input, weight, grad_out, spec);
     }
-    let (n, c, h, w) = dims4(input, "conv2d_grouped_backward input");
-    let (k, wc, wr, ws) = dims4(weight, "conv2d_grouped_backward weight");
+    let (_, c, _, _) = dims4(input, "conv2d_grouped_backward input");
+    let (k, wc, _, _) = dims4(weight, "conv2d_grouped_backward weight");
     assert!(
         c % groups == 0 && k % groups == 0,
         "groups={groups} must divide C={c} and K={k}"
     );
     let cg = c / groups;
-    let kg = k / groups;
     assert_eq!(wc, cg, "weight C={wc} must be C/groups={cg}");
-    let (oh, ow) = spec.output_dim(h, w);
-    assert_eq!(
-        grad_out.shape().dims(),
-        &[n, k, oh, ow],
-        "grad_out shape mismatch"
-    );
-    let mut d_input = Tensor::zeros(&[n, c, h, w]);
-    let mut d_weight = Tensor::zeros(&[k, cg, wr, ws]);
-    let mut d_bias = Tensor::zeros(&[k]);
-    let slab = kg * cg * wr * ws;
-    for g in 0..groups {
-        let gi = take_channels(input, g * cg, cg);
-        let gw = Tensor::from_vec(
-            weight.as_slice()[g * slab..(g + 1) * slab].to_vec(),
-            &[kg, cg, wr, ws],
-        );
-        let ggo = take_channels(grad_out, g * kg, kg);
-        let grads = conv2d_backward(&gi, &gw, &ggo, spec);
-        put_channels(&mut d_input, &grads.input, g * cg);
-        d_weight.as_mut_slice()[g * slab..(g + 1) * slab].copy_from_slice(grads.weight.as_slice());
-        d_bias.as_mut_slice()[g * kg..(g + 1) * kg].copy_from_slice(grads.bias.as_slice());
+    if kernels::reference_mode() {
+        return reference::conv2d_grouped_backward(input, weight, grad_out, spec, groups);
     }
-    Conv2dGrads {
-        input: d_input,
-        weight: d_weight,
-        bias: d_bias,
-    }
+    ConvLowering::lower(input, spec, groups).backward(weight, grad_out)
 }
 
 fn dims4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {
@@ -424,6 +770,10 @@ mod tests {
 
     fn seq(dims: &[usize], scale: f32) -> Tensor {
         Tensor::from_fn(dims, |i| ((i as f32) * scale).sin())
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
     }
 
     /// Direct (loop-nest) convolution used as a reference.
@@ -478,6 +828,89 @@ mod tests {
                 assert!((g - v).abs() < 1e-4, "stride={stride} pad={padding}");
             }
         }
+    }
+
+    #[test]
+    fn forward_and_backward_bit_match_naive_oracle() {
+        let spec = ConvSpec::new(3, 3).with_stride(2).with_padding(1);
+        let input = seq(&[3, 5, 9, 11], 0.13);
+        let weight = seq(&[4, 5, 3, 3], 0.29);
+        let bias = seq(&[4], 0.7);
+        let fast = conv2d(&input, &weight, &bias, &spec);
+        let slow = crate::reference::conv2d(&input, &weight, &bias, &spec);
+        assert_eq!(bits(&fast), bits(&slow));
+
+        let go = Tensor::from_fn(fast.shape().dims(), |i| ((i as f32) * 0.17).cos());
+        let fast = conv2d_backward(&input, &weight, &go, &spec);
+        let slow = crate::reference::conv2d_backward(&input, &weight, &go, &spec);
+        assert_eq!(bits(&fast.input), bits(&slow.input));
+        assert_eq!(bits(&fast.weight), bits(&slow.weight));
+        assert_eq!(bits(&fast.bias), bits(&slow.bias));
+    }
+
+    #[test]
+    fn grouped_bit_matches_naive_oracle() {
+        for &(c, k, groups) in &[(6usize, 6usize, 3usize), (4, 4, 4), (8, 4, 2)] {
+            let spec = ConvSpec::new(3, 3).with_padding(1);
+            let input = seq(&[2, c, 6, 7], 0.19);
+            let weight = seq(&[k, c / groups, 3, 3], 0.37);
+            let bias = seq(&[k], 0.61);
+            let fast = conv2d_grouped(&input, &weight, &bias, &spec, groups);
+            let slow = crate::reference::conv2d_grouped(&input, &weight, &bias, &spec, groups);
+            assert_eq!(bits(&fast), bits(&slow), "c={c} k={k} g={groups}");
+
+            let go = Tensor::from_fn(fast.shape().dims(), |i| ((i as f32) * 0.11).cos());
+            let fast = conv2d_grouped_backward(&input, &weight, &go, &spec, groups);
+            let slow =
+                crate::reference::conv2d_grouped_backward(&input, &weight, &go, &spec, groups);
+            assert_eq!(bits(&fast.input), bits(&slow.input));
+            assert_eq!(bits(&fast.weight), bits(&slow.weight));
+            assert_eq!(bits(&fast.bias), bits(&slow.bias));
+        }
+    }
+
+    #[test]
+    fn scratch_reuses_forward_lowering_in_backward() {
+        let spec = ConvSpec::new(3, 3).with_padding(1);
+        let input = seq(&[2, 4, 6, 6], 0.23);
+        let weight = seq(&[6, 4, 3, 3], 0.41);
+        let bias = seq(&[6], 0.3);
+        let mut scratch = ConvScratch::new();
+        let out = scratch.forward(&input, &weight, &bias, &spec, 1);
+        let key_after_forward = scratch.key;
+        let go = Tensor::full(out.shape().dims(), 1.0);
+        let grads = scratch.backward(&input, &weight, &go, &spec, 1);
+        assert_eq!(scratch.key, key_after_forward, "backward reused the key");
+        let plain = conv2d_backward(&input, &weight, &go, &spec);
+        assert_eq!(bits(&grads.input), bits(&plain.input));
+        assert_eq!(bits(&grads.weight), bits(&plain.weight));
+        assert_eq!(bits(&grads.bias), bits(&plain.bias));
+
+        // A different input re-lowers (fingerprint is content-based).
+        let other = seq(&[2, 4, 6, 6], 0.77);
+        let out2 = scratch.forward(&other, &weight, &bias, &spec, 1);
+        assert_ne!(scratch.key, key_after_forward);
+        assert_eq!(bits(&out2), bits(&conv2d(&other, &weight, &bias, &spec)));
+    }
+
+    #[test]
+    fn shared_lowering_matches_free_functions() {
+        let spec = ConvSpec::new(3, 3).with_stride(2).with_padding(1);
+        let input = seq(&[2, 6, 8, 8], 0.19);
+        let weight = seq(&[4, 3, 3, 3], 0.37);
+        let bias = seq(&[4], 0.61);
+        let lowering = ConvLowering::lower(&input, &spec, 2);
+        let out = lowering.forward(&weight, &bias);
+        assert_eq!(
+            bits(&out),
+            bits(&conv2d_grouped(&input, &weight, &bias, &spec, 2))
+        );
+        let go = Tensor::from_fn(out.shape().dims(), |i| ((i as f32) * 0.13).sin());
+        let grads = lowering.backward(&weight, &go);
+        let want = conv2d_grouped_backward(&input, &weight, &go, &spec, 2);
+        assert_eq!(bits(&grads.input), bits(&want.input));
+        assert_eq!(bits(&grads.weight), bits(&want.weight));
+        assert_eq!(bits(&grads.bias), bits(&want.bias));
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! matrix multiplication, 2-D convolution (forward and backward, via im2col),
 //! pooling, and weight initialization.
 //!
+//! Matmul and convolution run on the cache-blocked, multithreaded GEMM in
+//! [`kernels`] (thread count via [`set_num_threads`] / `CSCNN_NUM_THREADS`),
+//! with results **bit-identical** to the frozen naive kernels in
+//! [`mod@reference`] at any thread count — see `docs/kernels.md`. Convolutions
+//! share one im2col lowering between forward and backward through
+//! [`ConvLowering`]/[`ConvScratch`].
+//!
 //! The library is deliberately *not* an autograd engine: each NN layer in
 //! [`cscnn-nn`](../cscnn_nn/index.html) implements its own backward pass on
 //! top of these kernels, mirroring how the paper's algorithmic contribution
@@ -30,19 +37,24 @@
 
 mod conv;
 mod init;
+pub mod kernels;
 mod matmul;
 mod ops;
 mod pool;
+pub mod reference;
 mod shape;
 mod tensor;
+pub mod threads;
 mod winograd;
 
 pub use conv::{
-    conv2d, conv2d_backward, conv2d_grouped, conv2d_grouped_backward, Conv2dGrads, ConvSpec,
+    conv2d, conv2d_backward, conv2d_grouped, conv2d_grouped_backward, Conv2dGrads, ConvLowering,
+    ConvScratch, ConvSpec,
 };
 pub use init::{kaiming_uniform, uniform, xavier_uniform};
 pub use matmul::{matmul, matmul_at, matmul_bt};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use threads::{num_threads, reset_num_threads, set_num_threads, MAX_THREADS};
 pub use winograd::{winograd_conv2d, DIRECT_MULTS_PER_OUTPUT, WINOGRAD_MULTS_PER_OUTPUT};

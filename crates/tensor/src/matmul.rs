@@ -2,8 +2,17 @@
 //!
 //! Three variants cover every use in the NN stack without materializing
 //! transposes: `A·B`, `Aᵀ·B` (weight gradients), and `A·Bᵀ` (input
-//! gradients).
+//! gradients). All three dispatch to the cache-blocked, multithreaded
+//! GEMM in [`crate::kernels`]; results are **bit-identical** to the naive
+//! [`crate::reference`] kernels at any thread count (see `docs/kernels.md`
+//! for the determinism contract).
+//!
+//! All variants apply the same sparsity short-circuit: products whose
+//! left-operand element is exactly `0.0` are skipped, so pruned CSCNN
+//! weight matrices multiply faster at identical results (for finite
+//! inputs; a `0·∞`/`0·NaN` term is skipped rather than propagated).
 
+use crate::kernels::{self, Lhs, Rhs};
 use crate::Tensor;
 
 /// `C = A · B` for row-major matrices.
@@ -23,24 +32,23 @@ use crate::Tensor;
 /// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    if kernels::reference_mode() {
+        return crate::reference::matmul(a, b);
+    }
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let (av, bv) = (a.as_slice(), b.as_slice());
-    for i in 0..m {
-        let a_row = &av[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &bv[p * n..(p + 1) * n];
-            for (o, &b_pn) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * b_pn;
-            }
-        }
-    }
+    kernels::gemm(
+        Lhs::RowMajor,
+        Rhs::RowMajor,
+        a.as_slice(),
+        b.as_slice(),
+        m,
+        k,
+        n,
+        &mut out,
+    );
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -52,24 +60,23 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics on rank or dimension mismatch.
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    if kernels::reference_mode() {
+        return crate::reference::matmul_at(a, b);
+    }
     let (k, m) = dims2(a, "matmul_at lhs");
     let (k2, n) = dims2(b, "matmul_at rhs");
     assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let (av, bv) = (a.as_slice(), b.as_slice());
-    for p in 0..k {
-        let a_row = &av[p * m..(p + 1) * m];
-        let b_row = &bv[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_pn) in out_row.iter_mut().zip(b_row) {
-                *o += a_pi * b_pn;
-            }
-        }
-    }
+    kernels::gemm(
+        Lhs::Transposed,
+        Rhs::RowMajor,
+        a.as_slice(),
+        b.as_slice(),
+        m,
+        k,
+        n,
+        &mut out,
+    );
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -81,22 +88,23 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics on rank or dimension mismatch.
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    if kernels::reference_mode() {
+        return crate::reference::matmul_bt(a, b);
+    }
     let (m, k) = dims2(a, "matmul_bt lhs");
     let (n, k2) = dims2(b, "matmul_bt rhs");
     assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
     let mut out = vec![0.0f32; m * n];
-    let (av, bv) = (a.as_slice(), b.as_slice());
-    for i in 0..m {
-        let a_row = &av[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            out[i * n + j] = acc;
-        }
-    }
+    kernels::gemm(
+        Lhs::RowMajor,
+        Rhs::Transposed,
+        a.as_slice(),
+        b.as_slice(),
+        m,
+        k,
+        n,
+        &mut out,
+    );
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -174,6 +182,42 @@ mod tests {
         for (x, y) in via_bt.as_slice().iter().zip(plain.as_slice()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn all_variants_bit_match_naive_reference_oracle() {
+        let a = seq(&[37, 45]);
+        let b = seq(&[45, 29]);
+        let (fast, slow) = (matmul(&a, &b), crate::reference::matmul(&a, &b));
+        assert_eq!(bits(&fast), bits(&slow));
+
+        let at = seq(&[45, 37]);
+        let (fast, slow) = (matmul_at(&at, &b), crate::reference::matmul_at(&at, &b));
+        assert_eq!(bits(&fast), bits(&slow));
+
+        let bt = seq(&[29, 45]);
+        let (fast, slow) = (matmul_bt(&a, &bt), crate::reference::matmul_bt(&a, &bt));
+        assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn zero_rows_are_skipped_identically_in_every_variant() {
+        // A zero left-operand row must yield an exactly-zero output row in
+        // all variants (the sparsity short-circuit contract).
+        let mut a = seq(&[4, 6]);
+        for v in &mut a.as_mut_slice()[6..12] {
+            *v = 0.0;
+        }
+        let b = seq(&[6, 5]);
+        let c = matmul(&a, &b);
+        assert!(c.as_slice()[5..10].iter().all(|v| v.to_bits() == 0));
+        let bt = seq(&[5, 6]);
+        let c = matmul_bt(&a, &bt);
+        assert!(c.as_slice()[5..10].iter().all(|v| v.to_bits() == 0));
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn fast_config() -> TrainConfig {
         lr_decay_factor: 5.0,
         lr_decay_every: 5,
         seed: 7,
+        num_threads: None,
     }
 }
 
